@@ -1,0 +1,56 @@
+//! End-to-end Criterion benches: tiny versions of representative
+//! benchmarks across all four execution modes. These measure *host* wall
+//! time of a full simulated run — useful for tracking simulator/runtime
+//! performance regressions; the paper's *simulated-cycle* comparisons come
+//! from the `fig7`/`fig8` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stagger_core::Mode;
+use std::hint::black_box;
+use workloads::Workload;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modes");
+    g.sample_size(10);
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(workloads::list::ListBench::tiny(60, 20)),
+        Box::new(workloads::kmeans::Kmeans::tiny()),
+        Box::new(workloads::memcached::Memcached::tiny()),
+    ];
+    for w in &workloads {
+        for mode in Mode::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(w.name(), mode.name()),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        black_box(workloads::run_benchmark(w.as_ref(), mode, 4, 7));
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    let w = workloads::ssca2::Ssca2::tiny();
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("ssca2", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(workloads::run_benchmark(&w, Mode::Staggered, threads, 3));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion microbenches for the mechanism costs the paper argues are
+//! negligible (Section 6.1): the ALPoint fast path, abort-history
+//! bookkeeping, policy activation, anchor-table lookups, advisory-lock
+//! operations, the compiler pass itself, and raw interpreter throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use htm_sim::{Machine, MachineConfig};
+use stagger_compiler::compile;
+use stagger_core::{
+    activate_alpoint, ABContext, AbortHistory, Mode, PolicyConfig, RuntimeConfig, SharedRt,
+};
+use tm_ir::CodeLayout;
+use workloads::Workload;
+
+fn bench_history(c: &mut Criterion) {
+    c.bench_function("history/append+counts", |b| {
+        let mut h = AbortHistory::new(8);
+        for i in 0..8u64 {
+            h.append(0x400 + i, 0x1000 + i * 64);
+        }
+        b.iter(|| {
+            h.append(black_box(0x404), black_box(0x1040));
+            black_box(h.count_pc(0x404) + h.count_addr(0x1040))
+        });
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let w = workloads::list::ListBench::lo();
+    let module = w.build_module();
+    let compiled = compile(&module);
+    let table = compiled.table(0);
+    let anchor = table
+        .entries
+        .iter()
+        .find(|e| e.is_anchor)
+        .map(|e| (e.anchor_id, e.pc))
+        .unwrap();
+    let cfg = PolicyConfig::default();
+    c.bench_function("policy/activate_alpoint", |b| {
+        b.iter_batched(
+            || ABContext::new(0, 8),
+            |mut ctx| {
+                for i in 0..8u64 {
+                    activate_alpoint(
+                        &cfg,
+                        table,
+                        &mut ctx,
+                        anchor.0,
+                        anchor.1,
+                        0x1000 + (i % 3) * 64,
+                        (i % 5) as u32,
+                    );
+                }
+                black_box(ctx.activation)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_anchor_table(c: &mut Criterion) {
+    let w = workloads::memcached::Memcached::default();
+    let module = w.build_module();
+    let compiled = compile(&module);
+    let table = compiled.table(0);
+    let pcs: Vec<u64> = table.entries.iter().map(|e| e.pc).collect();
+    c.bench_function("anchor_table/search_by_pc_tag", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % pcs.len();
+            black_box(table.search_by_pc_tag(CodeLayout::truncate_pc(pcs[i])))
+        });
+    });
+}
+
+fn bench_compile_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    for w in workloads::all_workloads() {
+        // One representative small and one large module keep bench time sane.
+        if w.name() != "list-lo" && w.name() != "memcached" {
+            continue;
+        }
+        let module = w.build_module();
+        g.bench_function(format!("compile/{}", w.name()), |b| {
+            b.iter(|| black_box(compile(black_box(&module))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    c.bench_function("locks/acquire_release_uncontended", |b| {
+        // Measure the simulated-machine path end to end (host wall time of
+        // a sequence of lock ops on one core).
+        b.iter_batched(
+            || Machine::new(MachineConfig::small(1)),
+            |machine| {
+                let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+                let shared = SharedRt::new(&machine, &cfg);
+                machine.run(vec![Box::new(move |core: &mut htm_sim::Core| {
+                    for i in 0..100u64 {
+                        let w = shared
+                            .locks
+                            .acquire(core, 0x1000 + i * 64, 1000, 30)
+                            .unwrap();
+                        shared.locks.release(core, w);
+                    }
+                })]);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // Raw interpreter throughput: single-core counter loop.
+    c.bench_function("interp/single_thread_counter_1000_txns", |b| {
+        let w = workloads::ssca2::Ssca2 {
+            n_nodes: 64,
+            max_degree: 7,
+            total_ops: 1000,
+        };
+        b.iter(|| {
+            black_box(workloads::run_benchmark(
+                black_box(&w),
+                Mode::Htm,
+                1,
+                42,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_history,
+        bench_policy,
+        bench_anchor_table,
+        bench_compile_pass,
+        bench_locks,
+        bench_interpreter
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Diagnostic dump: per-benchmark, per-mode runtime internals (not a paper
+//! exhibit; used to tune and debug the policy).
+
+use stagger_bench::{run, run_sequential, workload_set, Opts};
+use stagger_core::Mode;
+
+fn main() {
+    let opts = Opts::from_args();
+    for w in workload_set(opts.quick) {
+        let seq = run_sequential(w.as_ref(), opts.seed);
+        println!("== {} (seq {} cycles)", w.name(), seq.cycles());
+        for mode in Mode::ALL {
+            let r = run(w.as_ref(), mode, opts.threads, opts.seed);
+            let agg = r.out.sim.aggregate();
+            println!(
+                "  {:<13} cyc {:>12}  S {:>5.2}  commits {:>6}  irrev {:>4}  abts/c {:>5.2}  w/u {:>5.2}  locks {:>6} (t/o {:>4})  wait {:>10}  act p/c/t {:>5}/{:>5}/{:>5}  acc {:>5.2}",
+                mode.name(),
+                r.cycles(),
+                seq.cycles() as f64 / r.cycles() as f64,
+                agg.commits,
+                agg.irrevocable_commits,
+                r.out.sim.aborts_per_commit(),
+                r.out.sim.wasted_over_useful(),
+                r.out.rt.locks_acquired,
+                r.out.rt.lock_timeouts,
+                agg.lock_wait_cycles,
+                r.out.rt.act_precise,
+                r.out.rt.act_coarse,
+                r.out.rt.act_training,
+                r.out.rt.accuracy(),
+            );
+            if std::env::var("DIAG_HIST").is_ok() {
+                let mut lw: Vec<_> = r.out.rt.lock_word_hist.iter().collect();
+                lw.sort_by_key(|&(_, c)| std::cmp::Reverse(*c));
+                let top: Vec<String> = lw
+                    .iter()
+                    .take(6)
+                    .map(|(w, c)| format!("{w:#x}:{c}"))
+                    .collect();
+                let mut ah: Vec<_> = r.out.rt.anchor_hist.iter().collect();
+                ah.sort_by_key(|&(_, c)| std::cmp::Reverse(*c));
+                let topa: Vec<String> = ah
+                    .iter()
+                    .take(6)
+                    .map(|(a, c)| format!("#{a}:{c}"))
+                    .collect();
+                let mut ad: Vec<_> = r.out.rt.addr_hist.iter().collect();
+                ad.sort_by_key(|&(_, c)| std::cmp::Reverse(*c));
+                let topd: Vec<String> = ad
+                    .iter()
+                    .take(6)
+                    .map(|(a, c)| format!("{a:#x}:{c}"))
+                    .collect();
+                println!(
+                    "      locks: {}  anchors: {}  conf: {}",
+                    top.join(" "),
+                    topa.join(" "),
+                    topd.join(" ")
+                );
+            }
+        }
+    }
+}

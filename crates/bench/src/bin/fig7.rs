@@ -1,0 +1,51 @@
+//! Figure 7 — performance of HTM / AddrOnly / Staggered+SW / Staggered at
+//! 16 threads, normalized to the eager-HTM baseline.
+
+use stagger_bench::{harmonic_mean, measure, paper, run, run_sequential, workload_set, Opts};
+use stagger_core::Mode;
+
+fn main() {
+    let opts = Opts::from_args();
+    println!(
+        "Figure 7: speedup normalized to eager HTM, {} threads{}",
+        opts.threads,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    let header = format!(
+        "{:<10} {:>8} {:>9} {:>13} {:>10}   {:<22}",
+        "benchmark", "HTM", "AddrOnly", "Staggered+SW", "Staggered", "paper expectation"
+    );
+    println!("{header}");
+    stagger_bench::rule(&header);
+
+    let mut improvements = Vec::new();
+    for w in workload_set(opts.quick) {
+        let seq = run_sequential(w.as_ref(), opts.seed);
+        let htm = run(w.as_ref(), Mode::Htm, opts.threads, opts.seed);
+        let mut norm = Vec::new();
+        for mode in [Mode::AddrOnly, Mode::StaggeredSw, Mode::Staggered] {
+            let m = measure(w.as_ref(), mode, opts.threads, opts.seed, &seq, Some(&htm));
+            norm.push(m.speedup_vs_htm.unwrap());
+        }
+        let expectation = paper::FIG7
+            .iter()
+            .find(|r| r.name == w.name())
+            .map_or("", |r| r.band);
+        println!(
+            "{:<10} {:>8.2} {:>9.2} {:>13.2} {:>10.2}   {:<22}",
+            w.name(),
+            1.0,
+            norm[0],
+            norm[1],
+            norm[2],
+            expectation
+        );
+        improvements.push(norm[2]);
+    }
+    let hm = harmonic_mean(&improvements);
+    println!();
+    println!(
+        "harmonic mean of Staggered speedups over HTM: {:.2}x (paper: 1.24x)",
+        hm
+    );
+}

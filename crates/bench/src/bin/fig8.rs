@@ -1,0 +1,84 @@
+//! Figure 8 — (a) aborts per commit and (b) wasted-over-useful cycles,
+//! baseline HTM vs full Staggered Transactions, 16 threads; plus the
+//! paper's headline reductions.
+
+use stagger_bench::{measure, paper, run_sequential, workload_set, Opts};
+use stagger_core::Mode;
+
+fn main() {
+    let opts = Opts::from_args();
+    println!(
+        "Figure 8: contention and wasted work, {} threads{}",
+        opts.threads,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    let header = format!(
+        "{:<10} | {:>9} {:>10} {:>8} | {:>8} {:>9} {:>8}",
+        "benchmark", "abts/c", "stag", "cut", "W/U", "stag", "cut"
+    );
+    println!("{header}");
+    stagger_bench::rule(&header);
+
+    let mut abort_cuts = Vec::new();
+    let mut waste_cuts = Vec::new();
+    let mut max_cut: (f64, &str) = (0.0, "");
+    for w in workload_set(opts.quick) {
+        let seq = run_sequential(w.as_ref(), opts.seed);
+        let base = measure(w.as_ref(), Mode::Htm, opts.threads, opts.seed, &seq, None);
+        let stag = measure(
+            w.as_ref(),
+            Mode::Staggered,
+            opts.threads,
+            opts.seed,
+            &seq,
+            None,
+        );
+        let abort_cut = if base.aborts_per_commit > 0.0 {
+            1.0 - stag.aborts_per_commit / base.aborts_per_commit
+        } else {
+            0.0
+        };
+        let waste_cut = if base.wasted_over_useful > 0.0 {
+            1.0 - stag.wasted_over_useful / base.wasted_over_useful
+        } else {
+            0.0
+        };
+        // The paper excludes ssca2 from the average (too few aborts).
+        if w.name() != "ssca2" {
+            abort_cuts.push(abort_cut);
+            waste_cuts.push(waste_cut);
+            if abort_cut > max_cut.0 {
+                max_cut = (abort_cut, w.name());
+            }
+        }
+        println!(
+            "{:<10} | {:>9.2} {:>10.2} {:>7.0}% | {:>8.2} {:>9.2} {:>7.0}%",
+            w.name(),
+            base.aborts_per_commit,
+            stag.aborts_per_commit,
+            abort_cut * 100.0,
+            base.wasted_over_useful,
+            stag.wasted_over_useful,
+            waste_cut * 100.0,
+        );
+    }
+    let avg_abort = abort_cuts.iter().sum::<f64>() / abort_cuts.len() as f64;
+    let avg_waste = waste_cuts.iter().sum::<f64>() / waste_cuts.len() as f64;
+    println!();
+    println!(
+        "max abort reduction: {:.0}% in {} (paper: {:.0}% in intruder)",
+        max_cut.0 * 100.0,
+        max_cut.1,
+        paper::FIG8_MAX_ABORT_REDUCTION * 100.0
+    );
+    println!(
+        "average abort reduction (excl. ssca2): {:.0}% (paper: {:.0}%)",
+        avg_abort * 100.0,
+        paper::FIG8_AVG_ABORT_REDUCTION * 100.0
+    );
+    println!(
+        "average wasted-cycle reduction: {:.0}% (paper: {:.0}%)",
+        avg_waste * 100.0,
+        paper::FIG8_AVG_WASTE_REDUCTION * 100.0
+    );
+}

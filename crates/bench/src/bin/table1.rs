@@ -1,0 +1,48 @@
+//! Table 1 — HTM contention in representative benchmarks (baseline eager
+//! HTM at 16 threads): speedup, % irrevocable, wasted/useful ratio, and
+//! the LA/LP locality of contention addresses and PCs.
+
+use stagger_bench::{measure, paper, run_sequential, workload_set, yn, Opts};
+use stagger_core::Mode;
+
+fn main() {
+    let opts = Opts::from_args();
+    println!(
+        "Table 1: baseline HTM contention, {} threads{} (paper values in parentheses)",
+        opts.threads,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    let header = format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>8} {:>8}   {:<24}",
+        "benchmark", "S", "%I", "W/U", "LA", "LP", "contention source"
+    );
+    println!("{header}");
+    stagger_bench::rule(&header);
+
+    for r in paper::TABLE1 {
+        let Some(w) = workload_set(opts.quick).into_iter().find(|w| w.name() == r.name) else {
+            continue;
+        };
+        let seq = run_sequential(w.as_ref(), opts.seed);
+        let m = measure(w.as_ref(), Mode::Htm, opts.threads, opts.seed, &seq, None);
+        println!(
+            "{:<10} {:>5.1} ({:>4.1}) {:>5.1} ({:>3.0}%) {:>5.2} ({:>4.2}) {:>3} ({}) {:>3} ({})   {:<24}",
+            r.name,
+            m.speedup_vs_seq,
+            r.speedup,
+            m.irrevocable_frac * 100.0,
+            r.irrevocable_pct,
+            m.wasted_over_useful,
+            r.wasted_over_useful,
+            yn(m.addr_locality),
+            r.la,
+            yn(m.pc_locality),
+            r.lp,
+            r.contention_source,
+        );
+    }
+    println!();
+    println!("S: speedup over sequential.  %I: transactions forced irrevocable.");
+    println!("W/U: wasted/useful transactional cycles.  LA/LP: locality (>=50% on one");
+    println!("address / first-access PC) of contention aborts.");
+}

@@ -1,0 +1,43 @@
+//! Table 4 — benchmark characteristics on the baseline eager HTM at 16
+//! threads: atomic blocks, %TM, speedup, aborts/commit, contention class.
+
+use stagger_bench::{contention_class, measure, paper, run_sequential, workload_set, Opts};
+use stagger_compiler::compile;
+use stagger_core::Mode;
+
+fn main() {
+    let opts = Opts::from_args();
+    println!(
+        "Table 4: benchmark characteristics, {} threads{} (paper values in parentheses)",
+        opts.threads,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    let header = format!(
+        "{:<10} {:>9} {:>14} {:>12} {:>14} {:>14}",
+        "benchmark", "ABs", "%TM", "S", "Abts/C", "contention"
+    );
+    println!("{header}");
+    stagger_bench::rule(&header);
+
+    for w in workload_set(opts.quick) {
+        let module = w.build_module();
+        let abs = compile(&module).stats.atomic_blocks;
+        let seq = run_sequential(w.as_ref(), opts.seed);
+        let m = measure(w.as_ref(), Mode::Htm, opts.threads, opts.seed, &seq, None);
+        let p = paper::table4_ref(w.name());
+        println!(
+            "{:<10} {:>3} ({:>2}) {:>6.0}% ({:>3.0}%) {:>5.1} ({:>4.1}) {:>6.2} ({:>5.2}) {:>6} ({})",
+            w.name(),
+            abs,
+            p.map_or(0, |r| r.atomic_blocks),
+            m.tm_frac * 100.0,
+            p.map_or(0.0, |r| r.tm_pct),
+            m.speedup_vs_seq,
+            p.map_or(0.0, |r| r.speedup),
+            m.aborts_per_commit,
+            p.map_or(0.0, |r| r.aborts_per_commit),
+            contention_class(m.aborts_per_commit),
+            p.map_or("", |r| r.contention),
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! # stagger-bench — harnesses regenerating every table and figure
+//!
+//! One binary per exhibit of the paper's evaluation (Section 6):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — baseline HTM contention (S, %I, W/U, LA, LP) |
+//! | `table2` | Table 2 — simulator configuration |
+//! | `table3` | Table 3 — instrumentation statistics and accuracy |
+//! | `table4` | Table 4 — benchmark characteristics |
+//! | `fig7` | Figure 7 — speedup of all four modes normalized to HTM |
+//! | `fig8` | Figure 8 — aborts/commit and wasted/useful cycles |
+//!
+//! Run with `cargo run -p stagger-bench --release --bin <name>`. Options:
+//! `--threads N` (default 16, as in the paper) and `--quick` (scaled-down
+//! workloads for smoke runs). Absolute numbers differ from the paper's
+//! MARSSx86 testbed; the *shape* — who wins, by roughly what factor — is
+//! the reproduction target, and each binary prints the paper's numbers
+//! alongside for comparison (see `EXPERIMENTS.md`).
+//!
+//! Criterion microbenches (`cargo bench`) cover the mechanism costs the
+//! paper argues are negligible: the inactive-ALPoint fast path, policy
+//! activation, advisory-lock acquire/release, anchor-table lookups, and
+//! compile-pass time.
+
+use stagger_core::Mode;
+use workloads::{run_benchmark, BenchResult, Workload};
+
+pub mod paper;
+
+/// Harness options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    pub threads: usize,
+    pub quick: bool,
+    pub seed: u64,
+}
+
+impl Opts {
+    /// Parse `--threads N`, `--quick`, `--seed N` from `std::env::args`.
+    pub fn from_args() -> Opts {
+        let mut o = Opts {
+            threads: 16,
+            quick: false,
+            seed: 2015,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    i += 1;
+                    o.threads = args[i].parse().expect("--threads N");
+                }
+                "--quick" => o.quick = true,
+                "--seed" => {
+                    i += 1;
+                    o.seed = args[i].parse().expect("--seed N");
+                }
+                other => panic!("unknown option {other} (supported: --threads N, --quick, --seed N)"),
+            }
+            i += 1;
+        }
+        o
+    }
+}
+
+/// The benchmark set, optionally scaled down for quick runs.
+pub fn workload_set(quick: bool) -> Vec<Box<dyn Workload>> {
+    if !quick {
+        return workloads::all_workloads();
+    }
+    use workloads::*;
+    vec![
+        Box::new(genome::Genome::tiny()),
+        Box::new(intruder::Intruder::tiny()),
+        Box::new(kmeans::Kmeans::tiny()),
+        Box::new(labyrinth::Labyrinth::tiny()),
+        Box::new(ssca2::Ssca2::tiny()),
+        Box::new(vacation::Vacation::tiny()),
+        Box::new(list::ListBench::lo()),
+        Box::new(list::ListBench::hi()),
+        Box::new(tsp::Tsp::tiny()),
+        Box::new(memcached::Memcached::tiny()),
+    ]
+}
+
+/// Run one workload at `threads` in `mode`.
+pub fn run(w: &dyn Workload, mode: Mode, threads: usize, seed: u64) -> BenchResult {
+    run_benchmark(w, mode, threads, seed)
+}
+
+/// Sequential (1-thread, baseline-HTM) reference run.
+pub fn run_sequential(w: &dyn Workload, seed: u64) -> BenchResult {
+    run_benchmark(w, Mode::Htm, 1, seed)
+}
+
+/// Measured numbers for one benchmark in one mode, plus its sequential
+/// reference.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    pub name: &'static str,
+    pub mode: Mode,
+    pub speedup_vs_seq: f64,
+    pub speedup_vs_htm: Option<f64>,
+    pub aborts_per_commit: f64,
+    pub wasted_over_useful: f64,
+    pub irrevocable_frac: f64,
+    pub tm_frac: f64,
+    pub addr_locality: f64,
+    pub pc_locality: f64,
+    pub accuracy: f64,
+    pub result: BenchResult,
+}
+
+/// Run one workload in `mode` and derive the paper's metrics, given the
+/// sequential reference and (optionally) the baseline HTM run at the same
+/// thread count.
+pub fn measure(
+    w: &dyn Workload,
+    mode: Mode,
+    threads: usize,
+    seed: u64,
+    seq: &BenchResult,
+    htm: Option<&BenchResult>,
+) -> Measured {
+    let r = run(w, mode, threads, seed);
+    Measured {
+        name: r.name,
+        mode,
+        speedup_vs_seq: seq.cycles() as f64 / r.cycles() as f64,
+        speedup_vs_htm: htm.map(|h| h.cycles() as f64 / r.cycles() as f64),
+        aborts_per_commit: r.out.sim.aborts_per_commit(),
+        wasted_over_useful: r.out.sim.wasted_over_useful(),
+        irrevocable_frac: r.out.sim.irrevocable_fraction(),
+        tm_frac: r.out.sim.tm_fraction(),
+        addr_locality: r.out.rt.addr_locality(),
+        pc_locality: r.out.rt.pc_locality(),
+        accuracy: r.out.rt.accuracy(),
+        result: r,
+    }
+}
+
+/// Classify a locality share into the paper's Y/N.
+pub fn yn(share: f64) -> &'static str {
+    if share >= 0.5 {
+        "Y"
+    } else {
+        "N"
+    }
+}
+
+/// Classify aborts/commit into the paper's contention classes.
+pub fn contention_class(abts_per_commit: f64) -> &'static str {
+    if abts_per_commit < 0.3 {
+        "low"
+    } else if abts_per_commit < 2.0 {
+        "med"
+    } else {
+        "high"
+    }
+}
+
+/// Harmonic mean of a slice of positive ratios.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // HM is dominated by the smaller value.
+        let hm = harmonic_mean(&[1.0, 4.0]);
+        assert!(hm > 1.0 && hm < 2.5);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(contention_class(0.02), "low");
+        assert_eq!(contention_class(1.1), "med");
+        assert_eq!(contention_class(4.8), "high");
+        assert_eq!(yn(0.8), "Y");
+        assert_eq!(yn(0.2), "N");
+    }
+
+    #[test]
+    fn quick_set_has_all_ten() {
+        assert_eq!(workload_set(true).len(), 10);
+        assert_eq!(workload_set(false).len(), 10);
+    }
+}

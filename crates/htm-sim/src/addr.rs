@@ -1,0 +1,74 @@
+//! Address arithmetic: 64-bit byte addresses over a word-granular heap.
+
+/// A simulated byte address. All memory operations require 8-byte
+/// alignment (the IR is an all-64-bit-word world; see DESIGN.md).
+pub type Addr = u64;
+
+/// Bytes per 64-bit word.
+pub const WORD_BYTES: u64 = 8;
+
+/// Bytes per cache line (Table 2: 64-byte lines).
+pub const LINE_BYTES: u64 = 64;
+
+/// Words per cache line.
+pub const WORDS_PER_LINE: u64 = LINE_BYTES / WORD_BYTES;
+
+/// The line *index* containing `addr`.
+#[inline]
+pub fn line_of(addr: Addr) -> u64 {
+    addr / LINE_BYTES
+}
+
+/// The first byte address of the line containing `addr`.
+#[inline]
+pub fn line_addr(addr: Addr) -> Addr {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// The word index (into the flat memory array) of `addr`.
+///
+/// # Panics
+/// Panics (debug) on unaligned addresses — the interpreter only ever
+/// produces aligned ones.
+#[inline]
+pub fn word_index(addr: Addr) -> usize {
+    debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned access at {addr:#x}");
+    (addr / WORD_BYTES) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_addr(100), 64);
+        assert_eq!(line_addr(64), 64);
+        assert_eq!(WORDS_PER_LINE, 8);
+    }
+
+    #[test]
+    fn word_indexing() {
+        assert_eq!(word_index(0), 0);
+        assert_eq!(word_index(8), 1);
+        assert_eq!(word_index(640), 80);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn unaligned_panics() {
+        word_index(9);
+    }
+
+    #[test]
+    fn same_line_words_share_line() {
+        // Two fields of a node within one line conflict at line granularity.
+        let base = 1024;
+        assert_eq!(line_of(base), line_of(base + 56));
+        assert_ne!(line_of(base), line_of(base + 64));
+    }
+}

@@ -1,0 +1,164 @@
+//! Machine configuration — the reproduction of the paper's Table 2.
+
+/// HTM conflict-resolution protocol (paper Section 7 taxonomy).
+///
+/// The paper evaluates on an eager requester-wins design and names lazy
+/// protocols as future work; both are implemented here so the claim that
+/// Staggered Transactions are "compatible with most conflict resolution
+/// techniques" is testable (see the `ablations` harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HtmProtocol {
+    /// Conflicts detected as they occur; in-place (undo-logged) writes;
+    /// the requester wins and the current owner aborts.
+    #[default]
+    Eager,
+    /// Writes buffered privately; conflicts detected at commit time; the
+    /// committer wins and dooms transactions that read or wrote its lines.
+    Lazy,
+}
+
+/// Configuration of the simulated machine.
+///
+/// Defaults mirror Table 2 of the paper:
+///
+/// | component | paper | here |
+/// |---|---|---|
+/// | CPU cores | 2.5 GHz, 4-wide OoO | in-order cost model, 2.5 GHz equivalents |
+/// | L1 | 64 KB D, 8-way, 64 B lines, 2-cycle | 128 sets × 8 ways presence + speculative bits, 2-cycle |
+/// | L2 | private 1 MB, 8-way, 10-cycle | 2048 sets × 8 ways presence, 10-cycle |
+/// | L3 | shared 8 MB, 8-way, 30-cycle | 16384 sets × 8 ways presence, 30-cycle |
+/// | memory | 50 ns | 125 cycles |
+/// | HTM | 2-bit (r/w) per L1 line, eager requester-wins | same |
+/// | Stag. Trans. | 12-bit PC tag per L1 line | same |
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of simulated cores (the paper models 16).
+    pub n_cores: usize,
+    /// Simulated memory size in 64-bit words.
+    pub mem_words: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// L3 / cache-to-cache transfer latency in cycles.
+    pub l3_latency: u64,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+    /// L1 geometry: sets × ways (ways also bounds speculative lines/set).
+    pub l1_sets: usize,
+    pub l1_ways: usize,
+    /// L2 geometry.
+    pub l2_sets: usize,
+    pub l2_ways: usize,
+    /// L3 geometry (shared).
+    pub l3_sets: usize,
+    pub l3_ways: usize,
+    /// Cycles charged for transaction begin / commit bookkeeping.
+    pub tx_begin_cost: u64,
+    pub tx_commit_cost: u64,
+    /// Cycles charged when an abort is delivered: pipeline flush, abort
+    /// handler dispatch, and (for eager HTM) undo-log write-back. Real
+    /// eager designs of the paper's era pay hundreds of cycles here.
+    pub tx_abort_cost: u64,
+    /// Cycles charged per word for a bump allocation (amortized allocator
+    /// cost; the paper uses the Lockless allocator to keep this small).
+    pub alloc_cost_per_word: u64,
+    /// Per-thread arena chunk size in words (allocations are thread-local
+    /// until a chunk is exhausted, avoiding allocator-induced conflicts).
+    pub arena_chunk_words: usize,
+    /// How many low bits of the first-access PC the per-line hardware tag
+    /// keeps (paper: 12, < 2.4% L1 space overhead).
+    pub pc_tag_bits: u32,
+    /// Conflict-resolution protocol.
+    pub protocol: HtmProtocol,
+    /// Record per-core transaction begin/commit/abort events with their
+    /// logical timestamps (for the timeline renderer in [`crate::trace`]).
+    pub record_trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            n_cores: 16,
+            mem_words: 1 << 23, // 64 MiB
+            l1_latency: 2,
+            l2_latency: 10,
+            l3_latency: 30,
+            mem_latency: 125,
+            l1_sets: 128,
+            l1_ways: 8,
+            l2_sets: 2048,
+            l2_ways: 8,
+            l3_sets: 16384,
+            l3_ways: 8,
+            tx_begin_cost: 10,
+            tx_commit_cost: 10,
+            tx_abort_cost: 250,
+            alloc_cost_per_word: 1,
+            arena_chunk_words: 8192,
+            pc_tag_bits: 12,
+            protocol: HtmProtocol::Eager,
+            record_trace: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A config with `n` cores and defaults otherwise.
+    pub fn with_cores(n: usize) -> Self {
+        MachineConfig {
+            n_cores: n,
+            ..Default::default()
+        }
+    }
+
+    /// A small-memory config for unit tests (fast to allocate/zero).
+    pub fn small(n_cores: usize) -> Self {
+        MachineConfig {
+            n_cores,
+            mem_words: 1 << 18, // 2 MiB
+            ..Default::default()
+        }
+    }
+
+    /// Like [`Self::small`], but with lazy (commit-time) conflict
+    /// resolution.
+    pub fn small_lazy(n_cores: usize) -> Self {
+        MachineConfig {
+            protocol: HtmProtocol::Lazy,
+            ..Self::small(n_cores)
+        }
+    }
+
+    /// Mask for the PC tag.
+    pub fn pc_tag_mask(&self) -> u64 {
+        (1u64 << self.pc_tag_bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = MachineConfig::default();
+        assert_eq!(c.n_cores, 16);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.l2_latency, 10);
+        assert_eq!(c.l3_latency, 30);
+        assert_eq!(c.l1_sets * c.l1_ways * 64, 64 * 1024); // 64 KB L1
+        assert_eq!(c.l2_sets * c.l2_ways * 64, 1024 * 1024); // 1 MB L2
+        assert_eq!(c.l3_sets * c.l3_ways * 64, 8 * 1024 * 1024); // 8 MB L3
+        assert_eq!(c.pc_tag_bits, 12);
+        assert_eq!(c.pc_tag_mask(), 0xFFF);
+    }
+
+    #[test]
+    fn small_config_shrinks_memory_only() {
+        let c = MachineConfig::small(4);
+        assert_eq!(c.n_cores, 4);
+        assert!(c.mem_words < MachineConfig::default().mem_words);
+        assert_eq!(c.l1_latency, 2);
+    }
+}

@@ -1,0 +1,553 @@
+//! The machine façade: deterministic scheduling of simulated cores and the
+//! per-core operation API.
+//!
+//! Each simulated core runs on an OS thread, but all shared-state operations
+//! go through the core's gate: the calling core blocks until its logical
+//! clock is the global minimum (ties by core id), performs the operation
+//! under the machine mutex, advances its clock by the operation's latency,
+//! and wakes whichever core becomes eligible next. The resulting simulated
+//! interleaving is a pure function of the program and its seeds — the same
+//! run is bit-for-bit reproducible, like the paper's MARSSx86 runs with
+//! threads pinned to cores.
+
+use crate::addr::Addr;
+use crate::config::MachineConfig;
+use crate::sim::{AbortCause, SimState, TxError};
+use crate::stats::SimStats;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct Shared {
+    state: Mutex<SimState>,
+    cvs: Vec<Condvar>,
+}
+
+/// A simulated multicore machine with HTM.
+pub struct Machine {
+    shared: Arc<Shared>,
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SimState::new(cfg.clone())),
+            cvs: (0..cfg.n_cores).map(|_| Condvar::new()).collect(),
+        });
+        Machine { shared, cfg }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run one closure per simulated core to completion. Closures execute
+    /// on real threads; every simulated operation is deterministically
+    /// ordered by logical time. May be called once per machine.
+    pub fn run(&self, bodies: Vec<Box<dyn FnOnce(&mut Core) + Send + '_>>) {
+        assert_eq!(
+            bodies.len(),
+            self.cfg.n_cores,
+            "need exactly one body per core"
+        );
+        std::thread::scope(|s| {
+            for (tid, body) in bodies.into_iter().enumerate() {
+                let shared = &self.shared;
+                s.spawn(move || {
+                    let mut core = Core {
+                        shared,
+                        tid,
+                        pending: 0,
+                        last_clock: 0,
+                    };
+                    body(&mut core);
+                    core.finish();
+                });
+            }
+        });
+    }
+
+    /// Convenience: run the same closure on every core (receives the core).
+    pub fn run_uniform<F>(&self, f: F)
+    where
+        F: Fn(&mut Core) + Send + Sync,
+    {
+        let bodies: Vec<Box<dyn FnOnce(&mut Core) + Send + '_>> = (0..self.cfg.n_cores)
+            .map(|_| {
+                let f = &f;
+                Box::new(move |c: &mut Core| f(c)) as Box<dyn FnOnce(&mut Core) + Send>
+            })
+            .collect();
+        self.run(bodies);
+    }
+
+    /// Statistics snapshot (meaningful after `run` returns).
+    pub fn stats(&self) -> SimStats {
+        let st = self.shared.state.lock();
+        let cores = st
+            .cores
+            .iter()
+            .map(|c| {
+                let mut s = c.stats.clone();
+                s.total_cycles = c.clock;
+                s
+            })
+            .collect::<Vec<_>>();
+        let exec_cycles = st.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        SimStats { cores, exec_cycles }
+    }
+
+    /// Per-core begin/commit/abort event traces (empty unless
+    /// [`MachineConfig::record_trace`] was set).
+    pub fn trace(&self) -> Vec<Vec<crate::sim::TraceEvent>> {
+        let st = self.shared.state.lock();
+        st.cores.iter().map(|c| c.trace.clone()).collect()
+    }
+
+    /// Host-side allocation for setup (no simulated cycles).
+    pub fn host_alloc(&self, words: u64, line_align: bool) -> Addr {
+        self.shared.state.lock().host_alloc(words, line_align)
+    }
+
+    /// Host-side memory read (setup/validation only).
+    pub fn host_load(&self, addr: Addr) -> u64 {
+        self.shared.state.lock().host_load(addr)
+    }
+
+    /// Host-side memory write (setup only; unsound during `run`).
+    pub fn host_store(&self, addr: Addr, val: u64) {
+        self.shared.state.lock().host_store(addr, val)
+    }
+}
+
+/// Handle through which one simulated core issues operations.
+pub struct Core<'m> {
+    shared: &'m Shared,
+    tid: usize,
+    /// Locally accumulated compute cycles, folded into the logical clock at
+    /// the next gated operation.
+    pending: u64,
+    /// Clock value observed at the last gate (plus pending = `now`).
+    last_clock: u64,
+}
+
+impl Core<'_> {
+    /// This core's id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Approximate current logical time (exact at gate boundaries).
+    pub fn now(&self) -> u64 {
+        self.last_clock + self.pending
+    }
+
+    /// Model `cycles` of local computation. Free of synchronization: the
+    /// cycles are folded into the clock at the next shared operation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.pending += cycles;
+    }
+
+    /// Perform `f` on the shared state at this core's logical turn; `f`
+    /// returns `(result, latency)`.
+    fn gate<R>(&mut self, f: impl FnOnce(&mut SimState, usize) -> (R, u64)) -> R {
+        let tid = self.tid;
+        let mut st = self.shared.state.lock();
+        st.cores[tid].clock += self.pending;
+        self.pending = 0;
+        loop {
+            match st.next_eligible() {
+                Some(n) if n == tid => break,
+                Some(n) => {
+                    // Our arrival may have shifted the minimum to a parked
+                    // core — wake it before we sleep.
+                    if st.cores[n].waiting {
+                        self.shared.cvs[n].notify_one();
+                    }
+                    st.cores[tid].waiting = true;
+                    self.shared.cvs[tid].wait(&mut st);
+                    st.cores[tid].waiting = false;
+                }
+                None => unreachable!("calling core cannot be finished"),
+            }
+        }
+        let (r, lat) = f(&mut st, tid);
+        st.cores[tid].clock += lat;
+        self.last_clock = st.cores[tid].clock;
+        if let Some(n) = st.next_eligible() {
+            if n != tid && st.cores[n].waiting {
+                self.shared.cvs[n].notify_one();
+            }
+        }
+        r
+    }
+
+    fn finish(&mut self) {
+        let tid = self.tid;
+        let mut st = self.shared.state.lock();
+        st.cores[tid].clock += self.pending;
+        self.pending = 0;
+        st.cores[tid].finished = true;
+        self.last_clock = st.cores[tid].clock;
+        if let Some(n) = st.next_eligible() {
+            if st.cores[n].waiting {
+                self.shared.cvs[n].notify_one();
+            }
+        }
+    }
+
+    // ----- transactional API ---------------------------------------------
+
+    /// Begin a hardware transaction for atomic block `ab_id`.
+    pub fn tx_begin(&mut self, ab_id: u32) {
+        self.gate(|st, tid| ((), st.tx_begin(tid, ab_id)));
+    }
+
+    /// Transactional load at instruction address `pc`.
+    pub fn tx_load(&mut self, addr: Addr, pc: u64) -> Result<u64, TxError> {
+        self.gate(|st, tid| st.tx_load(tid, addr, pc))
+    }
+
+    /// Transactional store at instruction address `pc`.
+    pub fn tx_store(&mut self, addr: Addr, val: u64, pc: u64) -> Result<(), TxError> {
+        self.gate(|st, tid| st.tx_store(tid, addr, val, pc))
+    }
+
+    /// Attempt to commit.
+    pub fn tx_commit(&mut self) -> Result<(), TxError> {
+        self.gate(|st, tid| st.tx_commit(tid))
+    }
+
+    /// Explicitly abort the active transaction (runtime-initiated).
+    pub fn tx_abort(&mut self) -> TxError {
+        self.gate(|st, tid| (st.self_abort(tid, AbortCause::Explicit), 0))
+    }
+
+    /// Is a transaction currently active (not yet observed-doomed)?
+    pub fn tx_active(&mut self) -> bool {
+        let tid = self.tid;
+        self.shared.state.lock().tx_active(tid)
+    }
+
+    /// Atomic-block id of the active transaction, if any.
+    pub fn tx_ab_id(&mut self) -> Option<u32> {
+        let tid = self.tid;
+        self.shared.state.lock().tx_ab_id(tid)
+    }
+
+    // ----- nontransactional API --------------------------------------------
+
+    /// Nontransactional load (escapes isolation; never aborts anyone).
+    pub fn nt_load(&mut self, addr: Addr) -> u64 {
+        self.gate(|st, tid| st.nt_load(tid, addr))
+    }
+
+    /// Plain non-speculative load (outside transactions / irrevocable
+    /// mode): dooms speculative writers of the line so uncommitted data is
+    /// never observed.
+    pub fn plain_load(&mut self, addr: Addr) -> u64 {
+        self.gate(|st, tid| st.plain_load(tid, addr))
+    }
+
+    /// Plain non-speculative store — identical coherence behaviour to
+    /// [`Core::nt_store`] (dooms all speculative owners of the line).
+    pub fn plain_store(&mut self, addr: Addr, val: u64) {
+        self.nt_store(addr, val)
+    }
+
+    /// Nontransactional store (immediately visible; aborts conflicting
+    /// speculative owners on other cores).
+    pub fn nt_store(&mut self, addr: Addr, val: u64) {
+        self.gate(|st, tid| ((), st.nt_store(tid, addr, val)));
+    }
+
+    /// Nontransactional compare-and-swap.
+    pub fn nt_cas(&mut self, addr: Addr, old: u64, new: u64) -> bool {
+        self.gate(|st, tid| st.nt_cas(tid, addr, old, new))
+    }
+
+    // ----- services ---------------------------------------------------------
+
+    /// Allocate `words` from this core's arena.
+    pub fn alloc(&mut self, words: u64, line_align: bool) -> Addr {
+        self.gate(|st, tid| st.alloc(tid, words, line_align))
+    }
+
+    /// Charge advisory-lock wait cycles (runtime bookkeeping: advances the
+    /// clock like `compute` and records the amount in the core's stats).
+    pub fn charge_lock_wait(&mut self, cycles: u64) {
+        self.compute(cycles);
+        self.gate(move |st, tid| {
+            st.cores[tid].stats.lock_wait_cycles += cycles;
+            ((), 0)
+        });
+    }
+
+    /// Charge retry-backoff cycles.
+    pub fn charge_backoff(&mut self, cycles: u64) {
+        self.compute(cycles);
+        self.gate(move |st, tid| {
+            st.cores[tid].stats.backoff_cycles += cycles;
+            ((), 0)
+        });
+    }
+
+    /// Record an irrevocable (global-lock) execution: `cycles` spent and
+    /// one irrevocable commit.
+    pub fn record_irrevocable(&mut self, cycles: u64) {
+        self.gate(move |st, tid| {
+            st.cores[tid].stats.irrevocable_cycles += cycles;
+            st.cores[tid].stats.irrevocable_commits += 1;
+            ((), 0)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::AbortCause;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::small(n))
+    }
+
+    #[test]
+    fn single_thread_counter() {
+        let m = machine(1);
+        let a = m.host_alloc(8, true);
+        m.run(vec![Box::new(move |c: &mut Core| {
+            for _ in 0..10 {
+                c.tx_begin(0);
+                let v = c.tx_load(a, 0x400).unwrap();
+                c.tx_store(a, v + 1, 0x404).unwrap();
+                c.tx_commit().unwrap();
+            }
+        })]);
+        assert_eq!(m.host_load(a), 10);
+        let st = m.stats();
+        assert_eq!(st.aggregate().commits, 10);
+        assert_eq!(st.aggregate().aborts(), 0);
+        assert!(st.exec_cycles > 0);
+    }
+
+    #[test]
+    fn concurrent_counter_is_serializable() {
+        // 4 cores × 50 increments with retry loops: the final value must be
+        // exactly 200 — the fundamental HTM correctness property.
+        let m = machine(4);
+        let a = m.host_alloc(8, true);
+        m.run_uniform(|c| {
+            for _ in 0..50 {
+                loop {
+                    c.tx_begin(0);
+                    let r = (|| {
+                        let v = c.tx_load(a, 0x400)?;
+                        c.compute(20); // widen the conflict window
+                        c.tx_store(a, v + 1, 0x404)?;
+                        Ok::<_, TxError>(())
+                    })();
+                    match r.and_then(|()| c.tx_commit()) {
+                        Ok(()) => break,
+                        Err(_) => continue,
+                    }
+                }
+            }
+        });
+        assert_eq!(m.host_load(a), 200);
+        let agg = m.stats().aggregate();
+        assert_eq!(agg.commits, 200);
+        assert!(agg.aborts() > 0, "contended counter must abort sometimes");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run_once = || {
+            let m = machine(4);
+            let a = m.host_alloc(8, true);
+            m.run_uniform(|c| {
+                for i in 0..30u64 {
+                    loop {
+                        c.tx_begin(0);
+                        let r = (|| {
+                            let v = c.tx_load(a, 0x400)?;
+                            c.compute((c.tid() as u64) * 7 + i % 5);
+                            c.tx_store(a, v + 1, 0x404)?;
+                            Ok::<_, TxError>(())
+                        })();
+                        if r.and_then(|()| c.tx_commit()).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            });
+            let st = m.stats();
+            (
+                st.exec_cycles,
+                st.aggregate().aborts(),
+                st.cores.iter().map(|c| c.total_cycles).collect::<Vec<_>>(),
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "simulation must be bit-for-bit deterministic");
+    }
+
+    #[test]
+    fn disjoint_lines_never_conflict() {
+        let m = machine(4);
+        let base = m.host_alloc(8 * 8 * 4, true);
+        m.run_uniform(move |c| {
+            let a = base + (c.tid() as u64) * 64;
+            for _ in 0..25 {
+                c.tx_begin(0);
+                let v = c.tx_load(a, 0).unwrap();
+                c.tx_store(a, v + 1, 0).unwrap();
+                c.tx_commit().unwrap();
+            }
+        });
+        let agg = m.stats().aggregate();
+        assert_eq!(agg.commits, 100);
+        assert_eq!(agg.aborts(), 0);
+    }
+
+    #[test]
+    fn nt_cas_lock_mutual_exclusion() {
+        // An advisory-lock-style spinlock built from NT CAS protects a
+        // plain (nontransactional) counter.
+        let m = machine(4);
+        let lock = m.host_alloc(8, true);
+        let counter = m.host_alloc(8, true);
+        m.run_uniform(move |c| {
+            for _ in 0..25 {
+                while !c.nt_cas(lock, 0, (c.tid() + 1) as u64) {
+                    c.compute(20);
+                }
+                let v = c.nt_load(counter);
+                c.compute(5);
+                c.nt_store(counter, v + 1);
+                c.nt_store(lock, 0);
+            }
+        });
+        assert_eq!(m.host_load(counter), 100);
+    }
+
+    #[test]
+    fn advisory_lock_inside_transaction() {
+        // The paper's core mechanism: acquire an NT lock inside an active
+        // transaction; serialized sections stop aborting each other.
+        let m = machine(4);
+        let lock = m.host_alloc(8, true);
+        let data = m.host_alloc(8, true);
+        m.run_uniform(move |c| {
+            for _ in 0..20 {
+                loop {
+                    c.tx_begin(0);
+                    // Advisory lock acquire via NT CAS, inside the txn.
+                    let mut spins = 0u64;
+                    while !c.nt_cas(lock, 0, (c.tid() + 1) as u64) {
+                        c.charge_lock_wait(30);
+                        spins += 1;
+                        if spins > 10_000 {
+                            break; // timeout: proceed without the lock
+                        }
+                    }
+                    let r = (|| {
+                        let v = c.tx_load(data, 0x100)?;
+                        c.compute(30);
+                        c.tx_store(data, v + 1, 0x104)?;
+                        Ok::<_, TxError>(())
+                    })();
+                    let committed = r.and_then(|()| c.tx_commit()).is_ok();
+                    // Release even on abort, as the runtime does.
+                    c.nt_store(lock, 0);
+                    if committed {
+                        break;
+                    }
+                }
+            }
+        });
+        assert_eq!(m.host_load(data), 80);
+        let agg = m.stats().aggregate();
+        assert_eq!(agg.commits, 80);
+        // Staggered by the advisory lock: conflicts should be rare.
+        assert!(
+            agg.aborts() <= 8,
+            "advisory lock should nearly eliminate aborts, got {}",
+            agg.aborts()
+        );
+        assert!(agg.lock_wait_cycles > 0);
+    }
+
+    #[test]
+    fn explicit_abort_counts() {
+        let m = machine(1);
+        let a = m.host_alloc(8, true);
+        m.run(vec![Box::new(move |c: &mut Core| {
+            assert_eq!(c.tx_ab_id(), None);
+            c.tx_begin(0);
+            assert_eq!(c.tx_ab_id(), Some(0));
+            c.tx_store(a, 5, 0).unwrap();
+            let e = c.tx_abort();
+            assert_eq!(e.info().cause, AbortCause::Explicit);
+        })]);
+        assert_eq!(m.host_load(a), 0, "aborted write must roll back");
+        assert_eq!(m.stats().aggregate().explicit_aborts, 1);
+    }
+
+    #[test]
+    fn alloc_in_threads_disjoint() {
+        let m = machine(4);
+        let out = m.host_alloc(8 * 4, true);
+        m.run_uniform(move |c| {
+            let p = c.alloc(8, true);
+            c.nt_store(p, c.tid() as u64 + 100);
+            c.nt_store(out + (c.tid() as u64) * 8, p);
+        });
+        let mut ptrs: Vec<u64> = (0..4).map(|i| m.host_load(out + i * 8)).collect();
+        ptrs.sort();
+        ptrs.dedup();
+        assert_eq!(ptrs.len(), 4, "allocations must not alias");
+        for (i, &p) in (0..4).zip(ptrs.iter()) {
+            let _ = i;
+            assert!(m.host_load(p) >= 100);
+        }
+    }
+
+    #[test]
+    fn clocks_interleave_fairly() {
+        // A core that does tiny ops and one that does huge computes: total
+        // time is driven by the slow core, and the fast core should not be
+        // starved (its ops happen "during" the slow core's computes).
+        let m = machine(2);
+        let a = m.host_alloc(16, true);
+        m.run(vec![
+            Box::new(move |c: &mut Core| {
+                for _ in 0..100 {
+                    c.nt_store(a, c.now());
+                }
+            }),
+            Box::new(move |c: &mut Core| {
+                for _ in 0..5 {
+                    c.compute(10_000);
+                    c.nt_store(a + 8, c.now());
+                }
+            }),
+        ]);
+        let st = m.stats();
+        assert!(st.cores[1].total_cycles >= 50_000);
+        assert!(st.cores[0].total_cycles < st.cores[1].total_cycles);
+    }
+
+    #[test]
+    fn stats_snapshot_exec_cycles_is_max() {
+        let m = machine(2);
+        m.run(vec![
+            Box::new(|c: &mut Core| c.compute(100)),
+            Box::new(|c: &mut Core| c.compute(500)),
+        ]);
+        let st = m.stats();
+        assert_eq!(st.exec_cycles, st.cores.iter().map(|c| c.total_cycles).max().unwrap());
+        assert_eq!(st.exec_cycles, 500);
+    }
+}

@@ -1,0 +1,1057 @@
+//! The simulator state: flat memory, per-core caches, HTM read/write sets,
+//! eager requester-wins conflict resolution, and logical clocks.
+//!
+//! Everything here lives under the single machine mutex; methods are called
+//! by [`crate::machine::Core`] only when it is the calling core's logical
+//! turn, so the whole struct is free of internal synchronization.
+
+use crate::addr::{line_of, word_index, Addr, LINE_BYTES, WORD_BYTES};
+use crate::cache::CacheArray;
+use crate::config::{HtmProtocol, MachineConfig};
+use crate::stats::CoreStats;
+use std::collections::{HashMap, HashSet};
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Data conflict with another core (requester-wins: we were the victim).
+    Conflict,
+    /// Speculative footprint overflowed an L1 set's ways.
+    Capacity,
+    /// Self-initiated abort (e.g., global-lock subscription at commit).
+    Explicit,
+}
+
+/// What the hardware reports on abort — the paper's "%rbx" payload: the
+/// conflicting data address and the low bits of the PC that *first* touched
+/// that line in the aborted transaction (Section 4 / Section 6 simulator
+/// modifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortInfo {
+    pub cause: AbortCause,
+    /// Line address of the conflicting datum (0 for capacity/explicit).
+    pub conf_addr: Addr,
+    /// Truncated (12-bit) first-access PC tag for the conflicting line —
+    /// what real hardware with the paper's PC-tag extension would deliver.
+    pub conf_pc_tag: u16,
+    /// Full first-access PC for the conflicting line. NOT architectural:
+    /// used only for ground-truth accuracy measurement (Table 3) and by
+    /// tests. Real policies must use `conf_pc_tag` or the software map.
+    pub true_first_pc: u64,
+}
+
+impl AbortInfo {
+    fn simple(cause: AbortCause) -> Self {
+        AbortInfo {
+            cause,
+            conf_addr: 0,
+            conf_pc_tag: 0,
+            true_first_pc: 0,
+        }
+    }
+}
+
+/// Error type of transactional operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    Aborted(AbortInfo),
+}
+
+impl TxError {
+    pub fn info(&self) -> AbortInfo {
+        match self {
+            TxError::Aborted(i) => *i,
+        }
+    }
+}
+
+/// Active-transaction state of one core.
+#[derive(Debug, Default)]
+struct TxState {
+    ab_id: u32,
+    start_clock: u64,
+    read_lines: HashSet<u64>,
+    write_lines: HashSet<u64>,
+    /// line -> full PC of the instruction that first accessed it
+    /// speculatively (the hardware keeps only the low 12 bits; we keep the
+    /// full value and truncate on delivery, retaining ground truth).
+    first_pc: HashMap<u64, u64>,
+    /// Undo log: (addr, previous value), applied in reverse on abort
+    /// (eager protocol only).
+    undo: Vec<(Addr, u64)>,
+    /// Private write buffer, published at commit (lazy protocol only).
+    write_buffer: HashMap<Addr, u64>,
+    /// Lines already rolled back by a remote requester.
+    rolled_back: bool,
+}
+
+impl TxState {
+    fn spec_contains(&self, line: u64) -> bool {
+        self.read_lines.contains(&line) || self.write_lines.contains(&line)
+    }
+}
+
+/// One recorded scheduling event (when `record_trace` is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub clock: u64,
+    pub kind: TraceKind,
+}
+
+/// What happened at a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    Begin(u32),
+    Commit,
+    Abort,
+}
+
+/// Per-core simulator state.
+pub(crate) struct CoreState {
+    pub clock: u64,
+    pub finished: bool,
+    pub waiting: bool,
+    l1: CacheArray,
+    l2: CacheArray,
+    tx: Option<TxState>,
+    doomed: Option<AbortInfo>,
+    pub stats: CoreStats,
+    arena_next: Addr,
+    arena_end: Addr,
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Speculative ownership of one line across cores. Under the eager
+/// protocol at most one writer exists at a time; under the lazy protocol
+/// multiple buffered writers may coexist until one commits.
+#[derive(Debug, Default, Clone, Copy)]
+struct Owners {
+    readers: u32,
+    writers: u32,
+}
+
+impl Owners {
+    fn is_empty(&self) -> bool {
+        self.readers == 0 && self.writers == 0
+    }
+}
+
+/// Everything under the machine mutex.
+pub(crate) struct SimState {
+    pub cfg: MachineConfig,
+    mem: Vec<u64>,
+    l3: CacheArray,
+    pub cores: Vec<CoreState>,
+    owners: HashMap<u64, Owners>,
+    heap_next: Addr,
+}
+
+/// First heap address — 0 stays an invalid ("null") address.
+const HEAP_BASE: Addr = 4096;
+
+impl SimState {
+    pub fn new(cfg: MachineConfig) -> SimState {
+        let cores = (0..cfg.n_cores)
+            .map(|_| CoreState {
+                clock: 0,
+                finished: false,
+                waiting: false,
+                l1: CacheArray::new(cfg.l1_sets, cfg.l1_ways),
+                l2: CacheArray::new(cfg.l2_sets, cfg.l2_ways),
+                tx: None,
+                doomed: None,
+                stats: CoreStats::default(),
+                arena_next: 0,
+                arena_end: 0,
+                trace: Vec::new(),
+            })
+            .collect();
+        SimState {
+            mem: vec![0; cfg.mem_words],
+            l3: CacheArray::new(cfg.l3_sets, cfg.l3_ways),
+            cores,
+            owners: HashMap::new(),
+            heap_next: HEAP_BASE,
+            cfg,
+        }
+    }
+
+    /// The core whose turn it is: minimum clock among unfinished cores,
+    /// ties by id. `None` when every core has finished.
+    pub fn next_eligible(&self) -> Option<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.finished)
+            .min_by_key(|(i, c)| (c.clock, *i))
+            .map(|(i, _)| i)
+    }
+
+    // ----- memory & caches ----------------------------------------------
+
+    fn read_word(&self, addr: Addr) -> u64 {
+        let i = word_index(addr);
+        assert!(i < self.mem.len(), "simulated address {addr:#x} out of range");
+        self.mem[i]
+    }
+
+    fn write_word(&mut self, addr: Addr, val: u64) {
+        let i = word_index(addr);
+        assert!(i < self.mem.len(), "simulated address {addr:#x} out of range");
+        self.mem[i] = val;
+    }
+
+    /// Charge cache latency for `tid` touching `line`. If `speculative`,
+    /// the line must be insertable into the L1 without evicting a pinned
+    /// (speculative) way; failure is a capacity overflow.
+    ///
+    /// (The cache-to-cache and L3 arms charge the same latency on purpose —
+    /// they differ in the `touch` side effect, so they must not be merged.)
+    #[allow(clippy::if_same_then_else)]
+    fn touch_caches(&mut self, tid: usize, line: u64, speculative: bool) -> Result<u64, ()> {
+        let cfg_l1 = self.cfg.l1_latency;
+        let cfg_l2 = self.cfg.l2_latency;
+        let cfg_l3 = self.cfg.l3_latency;
+        let cfg_mem = self.cfg.mem_latency;
+
+        // L1 hit?
+        if self.cores[tid].l1.touch(line) {
+            return Ok(cfg_l1);
+        }
+        // Miss: find the source.
+        let lat = if self.cores[tid].l2.touch(line) {
+            cfg_l2
+        } else if self
+            .cores
+            .iter()
+            .enumerate()
+            .any(|(i, c)| i != tid && (c.l1.contains(line) || c.l2.contains(line)))
+        {
+            cfg_l3 // cache-to-cache transfer, charged at L3 cost
+        } else if self.l3.touch(line) {
+            cfg_l3
+        } else {
+            cfg_mem
+        };
+        // Fill path: L1 (respecting speculative pinning), L2, L3.
+        let core = &mut self.cores[tid];
+        let spec_pred = |l: u64| core.tx.as_ref().is_some_and(|t| t.spec_contains(l));
+        match core.l1.insert(line, spec_pred) {
+            Ok(_) => {}
+            Err(()) => {
+                if speculative {
+                    return Err(()); // capacity overflow
+                }
+                // Nontransactional access to a set full of speculative
+                // lines: bypass the L1.
+            }
+        }
+        let _ = core.l2.insert(line, |_| false);
+        let _ = self.l3.insert(line, |_| false);
+        Ok(lat)
+    }
+
+    /// Invalidate `line` in every core except `tid` (a write took exclusive
+    /// ownership).
+    fn invalidate_others(&mut self, tid: usize, line: u64) {
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if i != tid {
+                c.l1.remove(line);
+                c.l2.remove(line);
+            }
+        }
+    }
+
+    // ----- transactional machinery ---------------------------------------
+
+    /// If a remote requester doomed us, consume the abort now, charging the
+    /// abort-delivery cost (pipeline flush + handler dispatch + undo-log
+    /// write-back, already performed by the requester on our behalf).
+    fn check_doomed(&mut self, tid: usize) -> Result<(), TxError> {
+        if let Some(info) = self.cores[tid].doomed.take() {
+            let abort_cost = self.cfg.tx_abort_cost;
+            let core = &mut self.cores[tid];
+            core.clock += abort_cost;
+            if let Some(tx) = core.tx.take() {
+                debug_assert!(tx.rolled_back, "doomed tx must have been rolled back");
+                core.stats.wasted_tx_cycles += core.clock.saturating_sub(tx.start_clock);
+            }
+            core.stats.conflict_aborts += 1;
+            self.record(tid, TraceKind::Abort);
+            return Err(TxError::Aborted(info));
+        }
+        Ok(())
+    }
+
+    /// Roll back `victim`'s transaction in place and mark it doomed with
+    /// conflict info for `conf_addr`. Called by the *requester* under the
+    /// simulator lock — the hardware analogue of the coherence message that
+    /// kills the victim.
+    fn doom(&mut self, victim: usize, conf_addr: Addr) {
+        let pc_mask = self.cfg.pc_tag_mask();
+        let core = &mut self.cores[victim];
+        let Some(tx) = core.tx.as_mut() else {
+            return;
+        };
+        debug_assert!(!tx.rolled_back);
+        // Undo eager writes, newest first; lazy victims simply discard
+        // their private write buffer.
+        let undo = std::mem::take(&mut tx.undo);
+        tx.write_buffer.clear();
+        let line = line_of(conf_addr);
+        let first = tx.first_pc.get(&line).copied().unwrap_or(0);
+        let read_lines = std::mem::take(&mut tx.read_lines);
+        let write_lines = std::mem::take(&mut tx.write_lines);
+        tx.rolled_back = true;
+        core.doomed = Some(AbortInfo {
+            cause: AbortCause::Conflict,
+            conf_addr: crate::addr::line_addr(conf_addr),
+            conf_pc_tag: (first & pc_mask) as u16,
+            true_first_pc: first,
+        });
+        for &(addr, old) in undo.iter().rev() {
+            self.write_word(addr, old);
+        }
+        // The victim's cached copies of its speculatively-written lines are
+        // stale after rollback: invalidate them, so the retry pays refill
+        // latency (a real component of abort cost on eager HTM).
+        for &l in &write_lines {
+            self.cores[victim].l1.remove(l);
+            self.cores[victim].l2.remove(l);
+        }
+        self.release_ownership(victim, &read_lines, &write_lines);
+    }
+
+    fn release_ownership(&mut self, tid: usize, reads: &HashSet<u64>, writes: &HashSet<u64>) {
+        let bit = 1u32 << tid;
+        for &l in reads.iter().chain(writes.iter()) {
+            if let Some(o) = self.owners.get_mut(&l) {
+                o.readers &= !bit;
+                o.writers &= !bit;
+                if o.is_empty() {
+                    self.owners.remove(&l);
+                }
+            }
+        }
+    }
+
+    /// Abort every other core that holds `line` speculatively in a way that
+    /// conflicts with an access of kind `is_write` by `tid`.
+    fn resolve_conflicts(&mut self, tid: usize, addr: Addr, is_write: bool) {
+        let line = line_of(addr);
+        let Some(o) = self.owners.get(&line).copied() else {
+            return;
+        };
+        let mut mask = o.writers & !(1u32 << tid);
+        if is_write {
+            mask |= o.readers & !(1u32 << tid);
+        }
+        while mask != 0 {
+            let v = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.doom(v, addr);
+        }
+    }
+
+    fn record(&mut self, tid: usize, kind: TraceKind) {
+        if self.cfg.record_trace {
+            let clock = self.cores[tid].clock;
+            self.cores[tid].trace.push(TraceEvent { clock, kind });
+        }
+    }
+
+    /// Begin a hardware transaction on `tid`.
+    pub fn tx_begin(&mut self, tid: usize, ab_id: u32) -> u64 {
+        self.record(tid, TraceKind::Begin(ab_id));
+        let core = &mut self.cores[tid];
+        assert!(core.tx.is_none(), "nested hardware transaction on core {tid}");
+        // A doom left over from a transaction the runtime already gave up
+        // on cannot exist: check_doomed consumed it. Defensive clear:
+        core.doomed = None;
+        core.tx = Some(TxState {
+            ab_id,
+            start_clock: core.clock,
+            ..TxState::default()
+        });
+        self.cfg.tx_begin_cost
+    }
+
+    /// Is a transaction active (and not yet observed-doomed)?
+    pub fn tx_active(&self, tid: usize) -> bool {
+        self.cores[tid].tx.is_some()
+    }
+
+    /// The atomic-block id of the active transaction.
+    pub fn tx_ab_id(&self, tid: usize) -> Option<u32> {
+        self.cores[tid].tx.as_ref().map(|t| t.ab_id)
+    }
+
+    /// Transactional load.
+    pub fn tx_load(&mut self, tid: usize, addr: Addr, pc: u64) -> (Result<u64, TxError>, u64) {
+        if let Err(e) = self.check_doomed(tid) {
+            return (Err(e), 0);
+        }
+        assert!(self.tx_active(tid), "tx_load outside transaction");
+        if self.cfg.protocol == HtmProtocol::Eager {
+            // Eager: a read request aborts any remote speculative writer.
+            self.resolve_conflicts(tid, addr, false);
+        }
+        let line = line_of(addr);
+        match self.touch_caches(tid, line, true) {
+            Ok(lat) => {
+                let core = &mut self.cores[tid];
+                let tx = core.tx.as_mut().unwrap();
+                tx.first_pc.entry(line).or_insert(pc);
+                tx.read_lines.insert(line);
+                core.stats.tx_mem_ops += 1;
+                // Lazy: our own buffered write shadows memory.
+                let buffered = tx.write_buffer.get(&addr).copied();
+                self.owners.entry(line).or_default().readers |= 1 << tid;
+                (Ok(buffered.unwrap_or_else(|| self.read_word(addr))), lat)
+            }
+            Err(()) => (Err(self.self_abort(tid, AbortCause::Capacity)), 0),
+        }
+    }
+
+    /// Transactional store (eager versioning: in place, undo-logged).
+    pub fn tx_store(
+        &mut self,
+        tid: usize,
+        addr: Addr,
+        val: u64,
+        pc: u64,
+    ) -> (Result<(), TxError>, u64) {
+        if let Err(e) = self.check_doomed(tid) {
+            return (Err(e), 0);
+        }
+        assert!(self.tx_active(tid), "tx_store outside transaction");
+        let eager = self.cfg.protocol == HtmProtocol::Eager;
+        if eager {
+            self.resolve_conflicts(tid, addr, true);
+        }
+        let line = line_of(addr);
+        match self.touch_caches(tid, line, true) {
+            Ok(lat) => {
+                let old = self.read_word(addr);
+                let core = &mut self.cores[tid];
+                let tx = core.tx.as_mut().unwrap();
+                tx.first_pc.entry(line).or_insert(pc);
+                tx.write_lines.insert(line);
+                core.stats.tx_mem_ops += 1;
+                let o = self.owners.entry(line).or_default();
+                o.writers |= 1 << tid;
+                if eager {
+                    // In place, undo-logged, exclusive.
+                    tx.undo.push((addr, old));
+                    self.write_word(addr, val);
+                    self.invalidate_others(tid, line);
+                } else {
+                    // Private buffer; published at commit.
+                    tx.write_buffer.insert(addr, val);
+                }
+                (Ok(()), lat)
+            }
+            Err(()) => (Err(self.self_abort(tid, AbortCause::Capacity)), 0),
+        }
+    }
+
+    /// Self-initiated abort (capacity, or explicit from the runtime).
+    /// Rolls back, releases ownership, accounts the attempt as wasted.
+    pub fn self_abort(&mut self, tid: usize, cause: AbortCause) -> TxError {
+        let abort_cost = self.cfg.tx_abort_cost;
+        let core = &mut self.cores[tid];
+        let tx = core.tx.take().expect("self_abort without transaction");
+        core.clock += abort_cost;
+        core.stats.wasted_tx_cycles += core.clock.saturating_sub(tx.start_clock);
+        match cause {
+            AbortCause::Capacity => core.stats.capacity_aborts += 1,
+            AbortCause::Explicit => core.stats.explicit_aborts += 1,
+            AbortCause::Conflict => unreachable!("conflict aborts come from doom()"),
+        }
+        if !tx.rolled_back {
+            for &(addr, old) in tx.undo.iter().rev() {
+                self.write_word(addr, old);
+            }
+            for &l in &tx.write_lines {
+                self.cores[tid].l1.remove(l);
+                self.cores[tid].l2.remove(l);
+            }
+            self.release_ownership(tid, &tx.read_lines, &tx.write_lines);
+        }
+        self.record(tid, TraceKind::Abort);
+        TxError::Aborted(AbortInfo::simple(cause))
+    }
+
+    /// Commit the active transaction. Under the lazy protocol this is
+    /// where conflicts are resolved: the committer wins, dooming every
+    /// other transaction that read or wrote one of its written lines, then
+    /// publishes its write buffer.
+    pub fn tx_commit(&mut self, tid: usize) -> (Result<(), TxError>, u64) {
+        if let Err(e) = self.check_doomed(tid) {
+            return (Err(e), 0);
+        }
+        let mut commit_cost = self.cfg.tx_commit_cost;
+        if self.cfg.protocol == HtmProtocol::Lazy {
+            let write_lines: Vec<u64> = self.cores[tid]
+                .tx
+                .as_ref()
+                .map(|t| t.write_lines.iter().copied().collect())
+                .unwrap_or_default();
+            for &line in &write_lines {
+                // Committer wins: doom every other reader/writer of the line.
+                self.resolve_conflicts(tid, line * crate::addr::LINE_BYTES, true);
+            }
+            let buffer: Vec<(Addr, u64)> = self.cores[tid]
+                .tx
+                .as_mut()
+                .map(|t| t.write_buffer.drain().collect())
+                .unwrap_or_default();
+            commit_cost += buffer.len() as u64; // write-back bandwidth
+            for (addr, val) in buffer {
+                self.write_word(addr, val);
+            }
+            for &line in &write_lines {
+                self.invalidate_others(tid, line);
+            }
+        }
+        let core = &mut self.cores[tid];
+        let tx = core.tx.take().expect("commit without transaction");
+        core.stats.commits += 1;
+        core.stats.useful_tx_cycles +=
+            core.clock.saturating_sub(tx.start_clock) + commit_cost;
+        self.release_ownership(tid, &tx.read_lines, &tx.write_lines);
+        self.record(tid, TraceKind::Commit);
+        (Ok(()), commit_cost)
+    }
+
+    // ----- nontransactional operations -----------------------------------
+
+    /// Plain (non-speculative) load by a thread running outside any
+    /// transaction — e.g. irrevocable mode. As a real coherence read it must
+    /// not observe another core's uncommitted eager write, so it dooms
+    /// speculative *writers* of the line (requester wins); unlike `nt_load`,
+    /// which is reserved for runtime metadata that is never accessed
+    /// transactionally.
+    pub fn plain_load(&mut self, tid: usize, addr: Addr) -> (u64, u64) {
+        if self.cfg.protocol == HtmProtocol::Eager {
+            self.resolve_conflicts(tid, addr, false);
+        }
+        // Lazy: uncommitted data never reaches memory, so a plain read is
+        // always consistent without dooming anyone.
+        self.nt_load(tid, addr)
+    }
+
+    /// Nontransactional load: sees current memory, never kills anyone,
+    /// never joins the read set. Legal inside or outside a transaction.
+    pub fn nt_load(&mut self, tid: usize, addr: Addr) -> (u64, u64) {
+        let line = line_of(addr);
+        let lat = self
+            .touch_caches(tid, line, false)
+            .expect("nontransactional fills cannot overflow");
+        self.cores[tid].stats.nt_mem_ops += 1;
+        (self.read_word(addr), lat)
+    }
+
+    /// Nontransactional (or plain non-speculative) store: immediately
+    /// visible; as a real coherence write it aborts *other* cores holding
+    /// the line speculatively. Must not target the executing core's own
+    /// speculative lines (the runtime never does — advisory locks live in
+    /// dedicated lines).
+    pub fn nt_store(&mut self, tid: usize, addr: Addr, val: u64) -> u64 {
+        let line = line_of(addr);
+        debug_assert!(
+            self.cores[tid]
+                .tx
+                .as_ref()
+                .map_or(true, |t| !t.spec_contains(line)),
+            "NT store to own speculative line {line:#x}"
+        );
+        self.resolve_conflicts(tid, addr, true);
+        let lat = self
+            .touch_caches(tid, line, false)
+            .expect("nontransactional fills cannot overflow");
+        self.cores[tid].stats.nt_mem_ops += 1;
+        self.write_word(addr, val);
+        self.invalidate_others(tid, line);
+        lat
+    }
+
+    /// Nontransactional compare-and-swap; returns success. One memory
+    /// operation's latency either way.
+    pub fn nt_cas(&mut self, tid: usize, addr: Addr, old: u64, new: u64) -> (bool, u64) {
+        let line = line_of(addr);
+        let cur = self.read_word(addr);
+        if cur == old {
+            self.resolve_conflicts(tid, addr, true);
+            let lat = self.touch_caches(tid, line, false).unwrap();
+            self.cores[tid].stats.nt_mem_ops += 1;
+            self.write_word(addr, new);
+            self.invalidate_others(tid, line);
+            (true, lat)
+        } else {
+            let lat = self.touch_caches(tid, line, false).unwrap();
+            self.cores[tid].stats.nt_mem_ops += 1;
+            (false, lat)
+        }
+    }
+
+    // ----- allocation -----------------------------------------------------
+
+    /// Bump-allocate from `tid`'s arena, refilling from the global heap.
+    pub fn alloc(&mut self, tid: usize, words: u64, line_align: bool) -> (Addr, u64) {
+        let bytes = words * WORD_BYTES;
+        let chunk = (self.cfg.arena_chunk_words as u64) * WORD_BYTES;
+        assert!(
+            bytes <= chunk,
+            "allocation of {words} words exceeds arena chunk"
+        );
+        let core = &mut self.cores[tid];
+        let mut start = core.arena_next;
+        if line_align {
+            start = (start + LINE_BYTES - 1) & !(LINE_BYTES - 1);
+        }
+        if start + bytes > core.arena_end {
+            // Refill: carve a fresh chunk from the global heap (line
+            // aligned so arenas of different threads never share lines).
+            let base = (self.heap_next + LINE_BYTES - 1) & !(LINE_BYTES - 1);
+            assert!(
+                (base + chunk) / WORD_BYTES <= self.mem.len() as u64,
+                "simulated heap exhausted"
+            );
+            self.heap_next = base + chunk;
+            let core = &mut self.cores[tid];
+            core.arena_next = base;
+            core.arena_end = base + chunk;
+            start = base;
+        }
+        let core = &mut self.cores[tid];
+        core.arena_next = start + bytes;
+        let cost = 10 + self.cfg.alloc_cost_per_word * words;
+        (start, cost)
+    }
+
+    /// Host-side allocation (setup code, zero simulated cycles).
+    pub fn host_alloc(&mut self, words: u64, line_align: bool) -> Addr {
+        let bytes = words * WORD_BYTES;
+        let mut base = self.heap_next;
+        if line_align {
+            base = (base + LINE_BYTES - 1) & !(LINE_BYTES - 1);
+        }
+        assert!(
+            (base + bytes) / WORD_BYTES <= self.mem.len() as u64,
+            "simulated heap exhausted"
+        );
+        self.heap_next = base + bytes;
+        base
+    }
+
+    /// Host-side read (no cycles, no coherence effects).
+    pub fn host_load(&self, addr: Addr) -> u64 {
+        self.read_word(addr)
+    }
+
+    /// Host-side write (no cycles, no coherence effects). Only sound while
+    /// no simulated threads run.
+    pub fn host_store(&mut self, addr: Addr, val: u64) {
+        self.write_word(addr, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(n: usize) -> SimState {
+        SimState::new(MachineConfig::small(n))
+    }
+
+    #[test]
+    fn plain_read_write() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.nt_store(0, a, 42);
+        let (v, _) = s.nt_load(1, a);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn tx_commit_makes_writes_durable() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 7, 0x400).0.unwrap();
+        s.tx_commit(0).0.unwrap();
+        assert_eq!(s.host_load(a), 7);
+        assert_eq!(s.cores[0].stats.commits, 1);
+        assert!(s.owners.is_empty(), "ownership released on commit");
+    }
+
+    #[test]
+    fn requester_wins_write_write() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 1);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 10, 0x400).0.unwrap();
+        // Core 1 writes the same line: core 0 is the victim.
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 20, 0x500).0.unwrap();
+        // Core 0's eager write must have been rolled back before core 1
+        // read/wrote: memory holds 20 (core 1's speculative value).
+        assert_eq!(s.host_load(a), 20);
+        // Core 0 observes doom at its next operation.
+        let (r, _) = s.tx_commit(0);
+        let info = r.unwrap_err().info();
+        assert_eq!(info.cause, AbortCause::Conflict);
+        assert_eq!(info.conf_addr, crate::addr::line_addr(a));
+        assert_eq!(info.true_first_pc, 0x400);
+        assert_eq!(info.conf_pc_tag, 0x400);
+        assert_eq!(s.cores[0].stats.conflict_aborts, 1);
+        // Core 1 commits fine.
+        s.tx_commit(1).0.unwrap();
+        assert_eq!(s.host_load(a), 20);
+    }
+
+    #[test]
+    fn requester_wins_read_write() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 5);
+        s.tx_begin(0, 1);
+        assert_eq!(s.tx_load(0, a, 0x100).0.unwrap(), 5);
+        // A writer kills a reader.
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 6, 0x200).0.unwrap();
+        assert!(s.tx_commit(0).0.is_err());
+        s.tx_commit(1).0.unwrap();
+        assert_eq!(s.host_load(a), 6);
+    }
+
+    #[test]
+    fn readers_do_not_conflict() {
+        let mut s = state(3);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 9);
+        for t in 0..3 {
+            s.tx_begin(t, 1);
+            assert_eq!(s.tx_load(t, a, 0).0.unwrap(), 9);
+        }
+        for t in 0..3 {
+            s.tx_commit(t).0.unwrap();
+        }
+    }
+
+    #[test]
+    fn reader_kills_writer() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 1);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 2, 0).0.unwrap();
+        s.tx_begin(1, 1);
+        // Requester-wins: the *reader* requester aborts the writer and
+        // reads the pre-transactional value.
+        assert_eq!(s.tx_load(1, a, 0).0.unwrap(), 1);
+        assert!(s.tx_commit(0).0.is_err());
+        s.tx_commit(1).0.unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_multiple_writes_in_order() {
+        let mut s = state(2);
+        let a = s.host_alloc(16, true);
+        s.host_store(a, 1);
+        s.host_store(a + 8, 2);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 100, 0).0.unwrap();
+        s.tx_store(0, a + 8, 200, 0).0.unwrap();
+        s.tx_store(0, a, 300, 0).0.unwrap(); // second write to same addr
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 999, 0).0.unwrap();
+        // Victim rolled back completely: a+8 restored to 2.
+        assert_eq!(s.host_load(a + 8), 2);
+        assert!(s.tx_commit(0).0.is_err());
+        s.tx_commit(1).0.unwrap();
+        assert_eq!(s.host_load(a), 999);
+    }
+
+    #[test]
+    fn nt_store_aborts_speculative_owner() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.tx_load(0, a, 0).0.unwrap();
+        s.nt_store(1, a, 77);
+        assert!(s.tx_commit(0).0.is_err());
+        assert_eq!(s.host_load(a), 77);
+    }
+
+    #[test]
+    fn plain_load_never_sees_uncommitted_data() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 1);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 999, 0).0.unwrap(); // eager, in place
+        // Irrevocable/plain reader must get the pre-transactional value and
+        // doom the speculative writer.
+        let (v, _) = s.plain_load(1, a);
+        assert_eq!(v, 1);
+        assert!(s.tx_commit(0).0.is_err());
+    }
+
+    #[test]
+    fn nt_load_does_not_abort_anyone() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 3, 0).0.unwrap();
+        let _ = s.nt_load(1, a);
+        s.tx_commit(0).0.unwrap();
+        assert_eq!(s.host_load(a), 3);
+    }
+
+    #[test]
+    fn nt_cas_success_and_failure() {
+        let mut s = state(1);
+        let a = s.host_alloc(8, true);
+        assert!(s.nt_cas(0, a, 0, 5).0);
+        assert!(!s.nt_cas(0, a, 0, 9).0);
+        assert_eq!(s.host_load(a), 5);
+        assert!(s.nt_cas(0, a, 5, 9).0);
+        assert_eq!(s.host_load(a), 9);
+    }
+
+    #[test]
+    fn capacity_abort_on_set_overflow() {
+        let mut s = state(1);
+        // 9 distinct lines mapping to the same L1 set (set stride =
+        // l1_sets lines).
+        let stride = (s.cfg.l1_sets as u64) * LINE_BYTES;
+        let base = s.host_alloc((s.cfg.l1_sets as u64) * 8 * 10, true);
+        s.tx_begin(0, 1);
+        let mut aborted = false;
+        for i in 0..9u64 {
+            let addr = base + i * stride;
+            match s.tx_load(0, addr, 0).0 {
+                Ok(_) => {}
+                Err(e) => {
+                    assert_eq!(e.info().cause, AbortCause::Capacity);
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        assert!(aborted, "9 same-set speculative lines must overflow 8 ways");
+        assert_eq!(s.cores[0].stats.capacity_aborts, 1);
+        assert!(!s.tx_active(0));
+    }
+
+    #[test]
+    fn explicit_self_abort_rolls_back() {
+        let mut s = state(1);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 4);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 40, 0).0.unwrap();
+        let e = s.self_abort(0, AbortCause::Explicit);
+        assert_eq!(e.info().cause, AbortCause::Explicit);
+        assert_eq!(s.host_load(a), 4);
+        assert_eq!(s.cores[0].stats.explicit_aborts, 1);
+    }
+
+    #[test]
+    fn latency_hierarchy_orders() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        // Cold: memory latency.
+        let (_, cold) = s.nt_load(0, a);
+        assert_eq!(cold, s.cfg.mem_latency);
+        // Hot: L1.
+        let (_, hot) = s.nt_load(0, a);
+        assert_eq!(hot, s.cfg.l1_latency);
+        // Other core: cache-to-cache at L3 cost.
+        let (_, remote) = s.nt_load(1, a);
+        assert_eq!(remote, s.cfg.l3_latency);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.nt_load(0, a);
+        s.nt_load(1, a);
+        // Core 1 writes; core 0's copy must be gone (next access is a
+        // transfer, not an L1 hit).
+        s.nt_store(1, a, 1);
+        let (_, lat) = s.nt_load(0, a);
+        assert!(lat > s.cfg.l1_latency);
+    }
+
+    #[test]
+    fn alloc_distinct_and_aligned() {
+        let mut s = state(2);
+        let (a, _) = s.alloc(0, 4, true);
+        let (b, _) = s.alloc(0, 4, true);
+        let (c, _) = s.alloc(1, 4, true);
+        assert_eq!(a % LINE_BYTES, 0);
+        assert_eq!(b % LINE_BYTES, 0);
+        assert_ne!(line_of(a), line_of(b));
+        // Different threads allocate from different arenas.
+        assert_ne!(line_of(a), line_of(c));
+    }
+
+    #[test]
+    fn alloc_unaligned_packs_words() {
+        let mut s = state(1);
+        let (a, _) = s.alloc(0, 2, false);
+        let (b, _) = s.alloc(0, 2, false);
+        assert_eq!(b, a + 16);
+    }
+
+    #[test]
+    fn conflicting_pc_is_first_access_not_current() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.tx_load(0, a, 0x111).0.unwrap(); // first access at PC 0x111
+        s.tx_store(0, a, 9, 0x222).0.unwrap(); // later store, same line
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 1, 0).0.unwrap();
+        let (r, _) = s.tx_commit(0);
+        let info = r.unwrap_err().info();
+        assert_eq!(info.true_first_pc, 0x111, "PC tag set at first access only");
+        s.tx_commit(1).0.unwrap();
+    }
+
+    #[test]
+    fn pc_tag_truncated_to_12_bits() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.tx_load(0, a, 0x40_1234).0.unwrap();
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 1, 0).0.unwrap();
+        let (r, _) = s.tx_commit(0);
+        let info = r.unwrap_err().info();
+        assert_eq!(info.conf_pc_tag, 0x234);
+        assert_eq!(info.true_first_pc, 0x40_1234);
+        s.tx_commit(1).0.unwrap();
+    }
+
+    // ----- lazy protocol ---------------------------------------------------
+
+    fn lazy_state(n: usize) -> SimState {
+        SimState::new(MachineConfig::small_lazy(n))
+    }
+
+    #[test]
+    fn lazy_writes_stay_private_until_commit() {
+        let mut s = lazy_state(2);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 5);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 99, 0x40).0.unwrap();
+        // Memory still has the old value; another core's plain read sees it
+        // and dooms no one.
+        assert_eq!(s.plain_load(1, a).0, 5);
+        // Our own transactional read sees the buffered value.
+        assert_eq!(s.tx_load(0, a, 0x44).0.unwrap(), 99);
+        s.tx_commit(0).0.unwrap();
+        assert_eq!(s.host_load(a), 99);
+    }
+
+    #[test]
+    fn lazy_committer_wins_over_reader() {
+        let mut s = lazy_state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 7, 0x100).0.unwrap();
+        s.tx_begin(1, 1);
+        // Reader proceeds freely (no eager conflict)...
+        assert_eq!(s.tx_load(1, a, 0x200).0.unwrap(), 0);
+        // ...until the writer commits: committer wins.
+        s.tx_commit(0).0.unwrap();
+        let e = s.tx_commit(1).0.unwrap_err();
+        assert_eq!(e.info().cause, AbortCause::Conflict);
+        assert_eq!(e.info().true_first_pc, 0x200);
+        assert_eq!(s.host_load(a), 7);
+    }
+
+    #[test]
+    fn lazy_concurrent_writers_coexist_until_commit() {
+        let mut s = lazy_state(3);
+        let a = s.host_alloc(8, true);
+        for t in 0..3 {
+            s.tx_begin(t, 1);
+            s.tx_store(t, a, 10 + t as u64, 0).0.unwrap();
+        }
+        // First committer wins; the others are doomed at their commits.
+        s.tx_commit(0).0.unwrap();
+        assert!(s.tx_commit(1).0.is_err());
+        assert!(s.tx_commit(2).0.is_err());
+        assert_eq!(s.host_load(a), 10);
+    }
+
+    #[test]
+    fn lazy_abort_discards_buffer_without_rollback() {
+        let mut s = lazy_state(1);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 3);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 42, 0).0.unwrap();
+        let _ = s.self_abort(0, AbortCause::Explicit);
+        assert_eq!(s.host_load(a), 3, "no eager write ever happened");
+    }
+
+    #[test]
+    fn lazy_disjoint_writers_all_commit() {
+        let mut s = lazy_state(2);
+        let a = s.host_alloc(16, true);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 1, 0).0.unwrap();
+        s.tx_begin(1, 1);
+        s.tx_store(1, a + 64, 2, 0).0.unwrap();
+        s.tx_commit(0).0.unwrap();
+        s.tx_commit(1).0.unwrap();
+    }
+
+    #[test]
+    fn next_eligible_min_clock_ties_by_id() {
+        let mut s = state(3);
+        s.cores[0].clock = 5;
+        s.cores[1].clock = 3;
+        s.cores[2].clock = 3;
+        assert_eq!(s.next_eligible(), Some(1));
+        s.cores[1].finished = true;
+        assert_eq!(s.next_eligible(), Some(2));
+        s.cores[2].finished = true;
+        assert_eq!(s.next_eligible(), Some(0));
+        s.cores[0].finished = true;
+        assert_eq!(s.next_eligible(), None);
+    }
+
+    #[test]
+    fn wasted_and_useful_cycle_accounting() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        s.cores[0].clock += 100; // simulate work inside the attempt
+        s.tx_store(0, a, 1, 0).0.unwrap();
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 2, 0).0.unwrap();
+        s.cores[0].clock += 50; // doomed victim keeps running a bit
+        assert!(s.tx_commit(0).0.is_err());
+        // 100 + 50 cycles of attempt work plus the abort-delivery cost.
+        assert_eq!(
+            s.cores[0].stats.wasted_tx_cycles,
+            150 + s.cfg.tx_abort_cost
+        );
+        s.cores[1].clock += 30;
+        s.tx_commit(1).0.unwrap();
+        assert_eq!(
+            s.cores[1].stats.useful_tx_cycles,
+            30 + s.cfg.tx_commit_cost
+        );
+    }
+}

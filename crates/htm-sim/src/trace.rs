@@ -1,0 +1,136 @@
+//! ASCII timeline rendering of recorded schedules — the paper's Figure 1,
+//! drawn from an actual run.
+//!
+//! Enable [`crate::MachineConfig::record_trace`], run, then call
+//! [`crate::Machine::trace`] and feed the result to [`render_timeline`].
+
+use crate::sim::{TraceEvent, TraceKind};
+
+/// Render per-core begin/commit/abort traces as one row per core over a
+/// `width`-column time axis.
+///
+/// Legend: `.` outside any transaction, `=` inside a transaction, `x` an
+/// abort, `C` a commit. Multiple events in one column are summarized by
+/// the most severe (`x` > `C` > boundary).
+pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    assert!(width >= 10, "give the timeline some room");
+    let end = traces
+        .iter()
+        .flat_map(|t| t.iter().map(|e| e.clock))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let col = |clock: u64| ((clock as u128 * (width as u128 - 1)) / end as u128) as usize;
+
+    let mut out = String::new();
+    for (tid, events) in traces.iter().enumerate() {
+        let mut row = vec!['.'; width];
+        let mut open: Option<usize> = None;
+        for e in events {
+            let c = col(e.clock);
+            match e.kind {
+                TraceKind::Begin(_) => open = Some(c),
+                TraceKind::Commit | TraceKind::Abort => {
+                    let start = open.take().unwrap_or(c);
+                    for cell in row.iter_mut().take(c).skip(start) {
+                        if *cell == '.' {
+                            *cell = '=';
+                        }
+                    }
+                    let mark = if e.kind == TraceKind::Commit { 'C' } else { 'x' };
+                    // Aborts dominate commits dominate fill.
+                    if row[c] != 'x' {
+                        row[c] = mark;
+                    }
+                }
+            }
+        }
+        // A transaction still open at the end of the run.
+        if let Some(start) = open {
+            for cell in row.iter_mut().skip(start) {
+                if *cell == '.' {
+                    *cell = '=';
+                }
+            }
+        }
+        out.push_str(&format!("t{tid:<2} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "      0 {:>width$}\n",
+        format!("{end} cycles"),
+        width = width - 2
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{TraceEvent, TraceKind};
+
+    fn ev(clock: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { clock, kind }
+    }
+
+    #[test]
+    fn renders_commit_and_abort_marks() {
+        let traces = vec![
+            vec![
+                ev(0, TraceKind::Begin(0)),
+                ev(50, TraceKind::Abort),
+                ev(60, TraceKind::Begin(0)),
+                ev(100, TraceKind::Commit),
+            ],
+            vec![ev(10, TraceKind::Begin(0)), ev(90, TraceKind::Commit)],
+        ];
+        let s = render_timeline(&traces, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('x'));
+        assert!(lines[0].contains('C'));
+        assert!(lines[1].contains('C'));
+        assert!(!lines[1].contains('x'));
+        assert!(s.contains("100 cycles"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let s = render_timeline(&[vec![], vec![]], 20);
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn machine_records_when_enabled() {
+        use crate::{Core, Machine, MachineConfig};
+        let mut cfg = MachineConfig::small(1);
+        cfg.record_trace = true;
+        let m = Machine::new(cfg);
+        let a = m.host_alloc(8, true);
+        m.run(vec![Box::new(move |c: &mut Core| {
+            c.tx_begin(3);
+            c.tx_store(a, 1, 0).unwrap();
+            c.tx_commit().unwrap();
+        })]);
+        let traces = m.trace();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].len(), 2);
+        assert!(matches!(traces[0][0].kind, TraceKind::Begin(3)));
+        assert!(matches!(traces[0][1].kind, TraceKind::Commit));
+        assert!(traces[0][1].clock >= traces[0][0].clock);
+    }
+
+    #[test]
+    fn machine_skips_recording_by_default() {
+        use crate::{Core, Machine, MachineConfig};
+        let m = Machine::new(MachineConfig::small(1));
+        let a = m.host_alloc(8, true);
+        m.run(vec![Box::new(move |c: &mut Core| {
+            c.tx_begin(0);
+            c.tx_store(a, 1, 0).unwrap();
+            c.tx_commit().unwrap();
+        })]);
+        assert!(m.trace()[0].is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the simulated machine's memory model.
+
+use htm_sim::{Core, Machine, MachineConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random single-core sequence of transactional/nontransactional
+/// operations, interpreted against a plain HashMap reference model, must
+/// produce identical memory contents (single-threaded transactions always
+/// commit, so they are just sequenced stores).
+#[derive(Debug, Clone)]
+enum Op {
+    NtStore(u64, u64),
+    NtLoad(u64),
+    Txn(Vec<(u64, u64)>), // read-modify-write pairs: addr += delta
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let addr = (0u64..32).prop_map(|i| 4096 + i * 8);
+    prop_oneof![
+        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Op::NtStore(a, v)),
+        addr.clone().prop_map(Op::NtLoad),
+        proptest::collection::vec((addr, 1u64..100), 1..6).prop_map(Op::Txn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn single_core_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let machine = Machine::new(MachineConfig::small(1));
+        let _heap = machine.host_alloc(64, true); // cover the address range
+        let mut model: HashMap<u64, u64> = HashMap::new();
+
+        let ops2 = ops.clone();
+        machine.run(vec![Box::new(move |c: &mut Core| {
+            for op in &ops2 {
+                match op {
+                    Op::NtStore(a, v) => c.nt_store(*a, *v),
+                    Op::NtLoad(a) => {
+                        let _ = c.nt_load(*a);
+                    }
+                    Op::Txn(rmws) => {
+                        c.tx_begin(0);
+                        for (a, d) in rmws {
+                            let v = c.tx_load(*a, 0x400).unwrap();
+                            c.tx_store(*a, v + d, 0x404).unwrap();
+                        }
+                        c.tx_commit().unwrap();
+                    }
+                }
+            }
+        })]);
+
+        for op in &ops {
+            match op {
+                Op::NtStore(a, v) => {
+                    model.insert(*a, *v);
+                }
+                Op::NtLoad(_) => {}
+                Op::Txn(rmws) => {
+                    for (a, d) in rmws {
+                        *model.entry(*a).or_insert(0) += d;
+                    }
+                }
+            }
+        }
+        for (a, v) in &model {
+            prop_assert_eq!(machine.host_load(*a), *v, "address {:#x}", a);
+        }
+    }
+
+    /// Concurrent increments to per-thread-disjoint lines never conflict
+    /// and always land, for any partitioning.
+    #[test]
+    fn disjoint_lines_always_commit(
+        n_threads in 2usize..5,
+        incs in 1u64..20,
+    ) {
+        let machine = Machine::new(MachineConfig::small(n_threads));
+        let base = machine.host_alloc(n_threads as u64 * 8, true);
+        machine.run_uniform(|c| {
+            let a = base + c.tid() as u64 * 64;
+            for _ in 0..incs {
+                c.tx_begin(0);
+                let v = c.tx_load(a, 0).unwrap();
+                c.tx_store(a, v + 1, 0).unwrap();
+                c.tx_commit().unwrap();
+            }
+        });
+        let agg = machine.stats().aggregate();
+        prop_assert_eq!(agg.aborts(), 0);
+        for t in 0..n_threads as u64 {
+            prop_assert_eq!(machine.host_load(base + t * 64), incs);
+        }
+    }
+
+    /// The fundamental HTM property under arbitrary contention: N threads
+    /// each performing K retried increments of one shared counter always
+    /// sum exactly, in both protocols.
+    #[test]
+    fn contended_counter_is_exact(
+        n_threads in 2usize..5,
+        incs in 1u64..15,
+        lazy in any::<bool>(),
+        pad in 0u32..60,
+    ) {
+        let cfg = if lazy {
+            MachineConfig::small_lazy(n_threads)
+        } else {
+            MachineConfig::small(n_threads)
+        };
+        let machine = Machine::new(cfg);
+        let a = machine.host_alloc(8, true);
+        machine.run_uniform(|c| {
+            for _ in 0..incs {
+                loop {
+                    c.tx_begin(0);
+                    let r = (|| {
+                        let v = c.tx_load(a, 0x100)?;
+                        c.compute(pad as u64);
+                        c.tx_store(a, v + 1, 0x104)?;
+                        Ok::<_, htm_sim::TxError>(())
+                    })();
+                    if r.and_then(|()| c.tx_commit()).is_ok() {
+                        break;
+                    }
+                }
+            }
+        });
+        prop_assert_eq!(machine.host_load(a), n_threads as u64 * incs);
+    }
+}

@@ -1,0 +1,292 @@
+//! Local anchor tables — the paper's Algorithm 1
+//! (`BuildLocalAnchorTable`).
+//!
+//! An **anchor** is a load/store that is the initial access to a DSNode on
+//! some execution path through the function. A **non-anchor** has a
+//! *pioneer*: the dominating anchor that accesses the same node. Anchors
+//! carry a *parent* node: the DSNode through which a pointer to their node
+//! was loaded (e.g. the hash-table node is the parent of the bucket-list
+//! node in Figure 3).
+
+use std::collections::HashMap;
+use tm_dsa::{FuncDsa, NodeId};
+use tm_ir::{Cfg, DomTree, FuncId, InstRef, Module};
+
+/// One entry of a local anchor table (the paper's 4-field `ATEntry`
+/// tuple `(instr, isAnchor, parent, pioneer)`).
+#[derive(Debug, Clone)]
+pub struct ATEntry {
+    /// The load/store instruction (original, uninstrumented coordinates).
+    pub inst: InstRef,
+    pub is_anchor: bool,
+    /// For non-anchors: the anchor accessing the same DSNode.
+    pub pioneer: Option<InstRef>,
+    /// For anchors: the DSNode through which a pointer to this entry's node
+    /// was loaded (filled locally when visible; completed in the unified
+    /// stage when the pointer arrived via a function argument).
+    pub parent_node: Option<NodeId>,
+    /// This access's DSNode, in the function's own (bottom-up) graph.
+    pub node: NodeId,
+}
+
+/// All loads/stores of one function, classified.
+#[derive(Debug, Clone)]
+pub struct LocalAnchorTable {
+    pub func: FuncId,
+    /// Entries in dominator-tree DFS discovery order.
+    pub entries: Vec<ATEntry>,
+    pub by_inst: HashMap<InstRef, usize>,
+}
+
+impl LocalAnchorTable {
+    pub fn entry(&self, inst: InstRef) -> Option<&ATEntry> {
+        self.by_inst.get(&inst).map(|&i| &self.entries[i])
+    }
+}
+
+/// Algorithm 1: build the local anchor table of `fid`, using its bottom-up
+/// DSA result.
+pub fn build_local_anchor_table(module: &Module, fid: FuncId, dsa: &FuncDsa) -> LocalAnchorTable {
+    let func = module.func(fid);
+    let cfg = Cfg::build(func);
+    let dom = DomTree::build(func, &cfg);
+
+    let mut entries: Vec<ATEntry> = Vec::new();
+    let mut by_inst: HashMap<InstRef, usize> = HashMap::new();
+    // aTable[dsNode]: indices of entries on each node.
+    let mut per_node: HashMap<NodeId, Vec<usize>> = HashMap::new();
+
+    // Stage one (Algorithm 1 lines 3–14): depth-first dominator-tree walk,
+    // classifying each load/store.
+    for bid in dom.dfs_preorder() {
+        let blk = func.block(bid);
+        for (idx, inst) in blk.insts.iter().enumerate() {
+            if !inst.is_mem_access() {
+                continue;
+            }
+            let iref = InstRef {
+                func: fid,
+                block: bid,
+                idx: idx as u32,
+            };
+            let node = dsa
+                .node_of(iref)
+                .expect("DSA assigns a node to every memory access");
+            let same_node = per_node.entry(node).or_default();
+            // Does any already-seen access of this node dominate us?
+            let dominating = same_node
+                .iter()
+                .map(|&i| &entries[i])
+                .find(|m| dom.dominates_inst(m.inst, iref));
+            let entry = match dominating {
+                Some(m) => {
+                    // Non-anchor; pioneer is the dominating access's anchor
+                    // (follow through if m is itself a non-anchor).
+                    let pioneer = if m.is_anchor { m.inst } else { m.pioneer.unwrap() };
+                    ATEntry {
+                        inst: iref,
+                        is_anchor: false,
+                        pioneer: Some(pioneer),
+                        parent_node: None,
+                        node,
+                    }
+                }
+                None => ATEntry {
+                    inst: iref,
+                    is_anchor: true,
+                    pioneer: None,
+                    parent_node: None,
+                    node,
+                },
+            };
+            let ei = entries.len();
+            by_inst.insert(iref, ei);
+            per_node.get_mut(&node).unwrap().push(ei);
+            entries.push(entry);
+        }
+    }
+
+    // Stage two (lines 15–19): parent relationship via DSNode edges. For
+    // every node `n` with an edge to node `t`, anchors on `t` get parent
+    // `n`. Self-edges (collapsed recursive structures) are skipped: the
+    // useful parent of a list node is the list-head holder, not the list
+    // itself. Nodes are visited in ascending id order for determinism; the
+    // first parent found wins.
+    let nodes: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = per_node.keys().copied().collect();
+        v.sort();
+        v
+    };
+    for &n in &nodes {
+        for (_, target) in dsa.graph.edges_of(n) {
+            if target == n {
+                continue;
+            }
+            if let Some(targets) = per_node.get(&target) {
+                for &ei in targets {
+                    if entries[ei].is_anchor && entries[ei].parent_node.is_none() {
+                        entries[ei].parent_node = Some(n);
+                    }
+                }
+            }
+        }
+    }
+
+    LocalAnchorTable {
+        func: fid,
+        entries,
+        by_inst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_ir::{BlockId, FuncBuilder, FuncKind};
+
+    fn analyze(b: FuncBuilder) -> (Module, LocalAnchorTable) {
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let dsa = tm_dsa::analyze_module(&m);
+        let t = build_local_anchor_table(&m, fid, dsa.func(fid));
+        (m, t)
+    }
+
+    fn iref(b: u32, i: u32) -> InstRef {
+        InstRef {
+            func: FuncId(0),
+            block: BlockId(b),
+            idx: i,
+        }
+    }
+
+    #[test]
+    fn first_access_is_anchor_second_is_pioneer() {
+        // n = q->head (anchor); q->tail = m (non-anchor, pioneer = head
+        // load) — the paper's queue example from Section 3.2.
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let (q, m_) = (b.param(0), b.param(1));
+        let _n = b.load(q, 0); // bb0:0  anchor
+        b.store(m_, q, 1); // bb0:1  non-anchor
+        b.ret(None);
+        let (_, t) = analyze(b);
+        assert_eq!(t.entries.len(), 2);
+        assert!(t.entries[0].is_anchor);
+        assert!(!t.entries[1].is_anchor);
+        assert_eq!(t.entries[1].pioneer, Some(iref(0, 0)));
+        assert_eq!(t.entry(iref(0, 1)).unwrap().pioneer, Some(iref(0, 0)));
+    }
+
+    #[test]
+    fn accesses_on_both_branches_are_both_anchors() {
+        // Neither branch's access dominates the other: both must be
+        // anchors ("initial access in a possible execution path").
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let (p, c) = (b.param(0), b.param(1));
+        b.if_else(
+            c,
+            |b| {
+                let _ = b.load(p, 0);
+            },
+            |b| {
+                b.store_const(1, p, 0);
+            },
+        );
+        b.ret(None);
+        let (_, t) = analyze(b);
+        let anchors = t.entries.iter().filter(|e| e.is_anchor).count();
+        assert_eq!(anchors, 2);
+    }
+
+    #[test]
+    fn dominating_access_makes_branch_accesses_non_anchors() {
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let (p, c) = (b.param(0), b.param(1));
+        let _ = b.load(p, 0); // dominates everything below
+        b.if_else(
+            c,
+            |b| {
+                let _ = b.load(p, 1);
+            },
+            |b| {
+                b.store_const(1, p, 2);
+            },
+        );
+        b.ret(None);
+        let (_, t) = analyze(b);
+        let anchors: Vec<_> = t.entries.iter().filter(|e| e.is_anchor).collect();
+        assert_eq!(anchors.len(), 1);
+        assert_eq!(anchors[0].inst, iref(0, 0));
+        for e in t.entries.iter().filter(|e| !e.is_anchor) {
+            assert_eq!(e.pioneer, Some(iref(0, 0)));
+        }
+    }
+
+    #[test]
+    fn list_walk_single_anchor_in_loop() {
+        // Figure 3's TMlist_find: the loop's first node access is the
+        // anchor; the next-pointer load is a non-anchor with that pioneer.
+        let mut b = FuncBuilder::new("walk", 1, FuncKind::Normal);
+        let list = b.param(0);
+        let node = b.load(list, 0); // anchor on the head-holder node
+        b.while_(
+            |b| b.nei(node, 0),
+            |b| {
+                let _k = b.load(node, 2); // anchor on collapsed list node
+                let nx = b.load(node, 1); // non-anchor, pioneer = key load
+                b.assign(node, nx);
+            },
+        );
+        b.ret(None);
+        let (_, t) = analyze(b);
+        let anchors: Vec<_> = t.entries.iter().filter(|e| e.is_anchor).collect();
+        assert_eq!(anchors.len(), 2, "head-holder anchor + list-node anchor");
+        // The list-node anchor's parent is the head-holder's node.
+        let head_entry = &t.entries[0];
+        let list_anchor = anchors
+            .iter()
+            .find(|e| e.node != head_entry.node)
+            .expect("distinct list node");
+        assert_eq!(list_anchor.parent_node, Some(head_entry.node));
+        // The next-load is a non-anchor whose pioneer is the list anchor.
+        let non_anchors: Vec<_> = t.entries.iter().filter(|e| !e.is_anchor).collect();
+        assert_eq!(non_anchors.len(), 1);
+        assert_eq!(non_anchors[0].pioneer, Some(list_anchor.inst));
+    }
+
+    #[test]
+    fn pioneer_chain_resolves_to_anchor() {
+        // Three sequential accesses on one node: the third's pioneer must
+        // be the first (the anchor), not the second (a non-anchor).
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let _a = b.load(p, 0);
+        let _b2 = b.load(p, 1);
+        let _c = b.load(p, 2);
+        b.ret(None);
+        let (_, t) = analyze(b);
+        assert!(t.entries[0].is_anchor);
+        assert!(!t.entries[1].is_anchor && !t.entries[2].is_anchor);
+        assert_eq!(t.entries[2].pioneer, Some(iref(0, 0)));
+    }
+
+    #[test]
+    fn parent_skips_self_edges() {
+        // p -> node with self-edge; anchor on node must take p as parent.
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let n = b.load(p, 0);
+        b.while_(
+            |b| b.nei(n, 0),
+            |b| {
+                let nx = b.load(n, 0); // same offset as p's edge: self-collapse risk is fine
+                b.assign(n, nx);
+            },
+        );
+        b.ret(None);
+        let (_, t) = analyze(b);
+        for e in t.entries.iter().filter(|e| e.is_anchor) {
+            assert_ne!(e.parent_node, Some(e.node), "self-parent is useless");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! ALPoint instrumentation (paper Section 3.4).
+//!
+//! Inserts an [`Inst::AlPoint`] immediately before each anchor load/store,
+//! carrying the anchor's global id and the *same address operands* as the
+//! anchored access, so the runtime's `ALPoint(ctx, id, addr)` receives the
+//! exact data address about to be touched.
+
+use std::collections::HashMap;
+use tm_ir::{Inst, InstRef, Module};
+
+/// Instrument `module`: returns the new module and a map from original
+/// instruction references to their positions in the instrumented module
+/// (covering *all* instructions of instrumented functions, not only
+/// anchors — the unified-table builder needs every load/store remapped).
+pub fn instrument_module(
+    module: &Module,
+    anchor_id_of: &HashMap<InstRef, u32>,
+) -> (Module, HashMap<InstRef, InstRef>) {
+    let mut out = Module::new();
+    let mut remap: HashMap<InstRef, InstRef> = HashMap::new();
+
+    for (fid, func) in module.iter_funcs() {
+        let mut new_func = func.clone();
+        for (bid, blk) in func.iter_blocks() {
+            let mut new_insts: Vec<Inst> = Vec::with_capacity(blk.insts.len());
+            for (idx, inst) in blk.insts.iter().enumerate() {
+                let old = InstRef {
+                    func: fid,
+                    block: bid,
+                    idx: idx as u32,
+                };
+                if let Some(&anchor) = anchor_id_of.get(&old) {
+                    let (base, index, offset) = inst
+                        .mem_operands()
+                        .expect("anchors are memory accesses");
+                    new_insts.push(Inst::AlPoint {
+                        anchor,
+                        base,
+                        index,
+                        offset,
+                    });
+                }
+                remap.insert(
+                    old,
+                    InstRef {
+                        func: fid,
+                        block: bid,
+                        idx: new_insts.len() as u32,
+                    },
+                );
+                new_insts.push(inst.clone());
+            }
+            new_func.block_mut(bid).insts = new_insts;
+        }
+        out.add_function(new_func);
+    }
+    (out, remap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_ir::{BlockId, FuncBuilder, FuncId, FuncKind};
+
+    #[test]
+    fn alpoint_precedes_anchor_with_same_operands() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let _v = b.load(p, 3); // bb0:0 — the anchor
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let anchor = InstRef {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
+        let ids = HashMap::from([(anchor, 7u32)]);
+        let (new_m, remap) = instrument_module(&m, &ids);
+
+        let blk = &new_m.funcs[0].blocks[0];
+        match (&blk.insts[0], &blk.insts[1]) {
+            (
+                Inst::AlPoint {
+                    anchor: 7,
+                    base,
+                    index: None,
+                    offset: 3,
+                },
+                Inst::Load {
+                    base: lbase,
+                    offset: 3,
+                    ..
+                },
+            ) => assert_eq!(base, lbase),
+            other => panic!("unexpected instrumentation: {other:?}"),
+        }
+        // Remap points at the (shifted) load.
+        assert_eq!(remap[&anchor].idx, 1);
+        tm_ir::verify_module(&new_m).unwrap();
+    }
+
+    #[test]
+    fn remap_covers_every_instruction() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let _a = b.load(p, 0);
+        let _b2 = b.load(p, 1);
+        b.compute(4);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let a0 = InstRef {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
+        let ids = HashMap::from([(a0, 1u32)]);
+        let (new_m, remap) = instrument_module(&m, &ids);
+        // 4 original instructions, all remapped; indices after the AlPoint
+        // shift by one.
+        assert_eq!(remap.len(), 4);
+        for (old, new) in &remap {
+            assert_eq!(new.idx, old.idx + 1);
+            assert_eq!(
+                std::mem::discriminant(m.inst(*old)),
+                std::mem::discriminant(new_m.inst(*new)),
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_anchor_carries_index_register() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let (arr, i) = (b.param(0), b.param(1));
+        let _ = b.load_idx(arr, i, 2);
+        b.ret(None);
+        m.add_function(b.finish());
+        let a0 = InstRef {
+            func: FuncId(0),
+            block: BlockId(0),
+            idx: 0,
+        };
+        let (new_m, _) = instrument_module(&m, &HashMap::from([(a0, 3u32)]));
+        match &new_m.funcs[0].blocks[0].insts[0] {
+            Inst::AlPoint {
+                anchor: 3,
+                index: Some(ix),
+                offset: 2,
+                ..
+            } => assert_eq!(*ix, i),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_anchors_means_identity() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let _ = b.load(p, 0);
+        b.ret(None);
+        m.add_function(b.finish());
+        let (new_m, remap) = instrument_module(&m, &HashMap::new());
+        assert_eq!(new_m.funcs[0].n_insts(), m.funcs[0].n_insts());
+        for (old, new) in &remap {
+            assert_eq!(old, new);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! `ABContext` — per-thread, per-atomic-block runtime state (paper
+//! Figure 4).
+
+use crate::history::AbortHistory;
+use htm_sim::line_addr;
+
+/// The persistent ALP-activation decision for an atomic block, produced by
+/// the locking policy and consumed at the start of every transaction
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// No pattern learned yet — keep gathering statistics (case 4).
+    #[default]
+    Training,
+    /// Precise mode (case 1): lock only when the ALP's current data address
+    /// falls in the same cache line as `addr`.
+    Precise { anchor: u32, addr: u64 },
+    /// Coarse-grain mode (cases 2–3): lock whatever address the ALP sees
+    /// ("wild card"); after promotion, `anchor` is the parent anchor.
+    Coarse { anchor: u32 },
+}
+
+impl Activation {
+    /// The activated anchor id (0 when training).
+    pub fn anchor(&self) -> u32 {
+        match *self {
+            Activation::Training => 0,
+            Activation::Precise { anchor, .. } | Activation::Coarse { anchor } => anchor,
+        }
+    }
+
+    /// The `blockAddress` field of Figure 4: expected conflicting address,
+    /// 0 meaning "any" (coarse-grain).
+    pub fn block_address(&self) -> u64 {
+        match *self {
+            Activation::Precise { addr, .. } => addr,
+            _ => 0,
+        }
+    }
+}
+
+/// Per-thread, per-atomic-block context (paper Figure 4's `ABContext`).
+#[derive(Debug, Clone)]
+pub struct ABContext {
+    pub ab_id: u32,
+    /// The policy's current, persistent decision.
+    pub activation: Activation,
+    /// Working copy for the current transaction instance: cleared after a
+    /// lock is acquired so at most one advisory lock is taken per
+    /// transaction, restored from `activation` at the next `tx_begin`.
+    pub active_anchor: u32,
+    /// Expected conflicting address for the current instance (0 = any).
+    pub block_address: u64,
+    pub history: AbortHistory,
+    /// Decaying window counters behind the paper's decision (1): "based on
+    /// the frequency of contention aborts, a software locking policy
+    /// \[decides\] whether the runtime should acquire an advisory lock".
+    pub window_commits: u64,
+    pub window_aborts: u64,
+}
+
+impl ABContext {
+    pub fn new(ab_id: u32, history_len: usize) -> ABContext {
+        ABContext {
+            ab_id,
+            activation: Activation::Training,
+            active_anchor: 0,
+            block_address: 0,
+            history: AbortHistory::new(history_len),
+            window_commits: 0,
+            window_aborts: 0,
+        }
+    }
+
+    /// Record a committed transaction in the frequency window, halving both
+    /// counters periodically so the estimate tracks recent behaviour.
+    pub fn record_commit(&mut self) {
+        self.window_commits += 1;
+        if self.window_commits + self.window_aborts >= 256 {
+            self.window_commits /= 2;
+            self.window_aborts /= 2;
+        }
+    }
+
+    /// Record a contention abort in the frequency window.
+    pub fn record_abort(&mut self) {
+        self.window_aborts += 1;
+    }
+
+    /// Recent contention-abort frequency: aborts per completed transaction.
+    /// Reports 0 until at least six aborts have been observed, so a
+    /// cold-start burst of collisions cannot activate locking by itself.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.window_aborts < 6 {
+            return 0.0;
+        }
+        if self.window_commits == 0 {
+            // Many aborts, no commits: maximally contended.
+            return f64::INFINITY;
+        }
+        self.window_aborts as f64 / self.window_commits as f64
+    }
+
+    /// Restore the per-instance fields from the persistent activation —
+    /// "the activeAnchor field is restored the next time the thread begins
+    /// a transaction for the same atomic block" (Section 5.1).
+    pub fn begin_instance(&mut self) {
+        self.active_anchor = self.activation.anchor();
+        self.block_address = self.activation.block_address();
+    }
+
+    /// The `IsAddressMatched` disjunction of Figure 5: coarse-grain
+    /// (`blockAddress == 0`) matches anything; precise mode compares cache
+    /// lines.
+    pub fn address_matches(&self, addr: u64) -> bool {
+        self.block_address == 0 || line_addr(self.block_address) == line_addr(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_instance_restores_activation() {
+        let mut c = ABContext::new(3, 8);
+        c.activation = Activation::Precise {
+            anchor: 7,
+            addr: 0x1040,
+        };
+        c.begin_instance();
+        assert_eq!(c.active_anchor, 7);
+        assert_eq!(c.block_address, 0x1040);
+
+        // Simulate the ALP consuming the anchor.
+        c.active_anchor = 0;
+        c.begin_instance();
+        assert_eq!(c.active_anchor, 7, "restored for the next instance");
+    }
+
+    #[test]
+    fn training_means_inactive() {
+        let mut c = ABContext::new(0, 8);
+        c.begin_instance();
+        assert_eq!(c.active_anchor, 0);
+        assert_eq!(c.block_address, 0);
+    }
+
+    #[test]
+    fn coarse_matches_any_address() {
+        let mut c = ABContext::new(0, 8);
+        c.activation = Activation::Coarse { anchor: 4 };
+        c.begin_instance();
+        assert!(c.address_matches(0xdead_b000));
+        assert!(c.address_matches(0x40));
+    }
+
+    #[test]
+    fn precise_matches_at_line_granularity() {
+        let mut c = ABContext::new(0, 8);
+        c.activation = Activation::Precise {
+            anchor: 4,
+            addr: 0x1040,
+        };
+        c.begin_instance();
+        assert!(c.address_matches(0x1040));
+        assert!(c.address_matches(0x1078), "same 64-byte line");
+        assert!(!c.address_matches(0x1080), "next line");
+    }
+
+    #[test]
+    fn activation_accessors() {
+        assert_eq!(Activation::Training.anchor(), 0);
+        assert_eq!(
+            Activation::Precise {
+                anchor: 2,
+                addr: 64
+            }
+            .block_address(),
+            64
+        );
+        assert_eq!(Activation::Coarse { anchor: 9 }.block_address(), 0);
+        assert_eq!(Activation::Coarse { anchor: 9 }.anchor(), 9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-atomic-block abort history (paper Figure 4's `abtHistory`).
+//!
+//! A fixed-size ring of the most recent abort records, each pairing the
+//! *anchor PC* the abort was attributed to with the conflicting data
+//! address. The policy (Figure 6) asks two questions of it: how often has
+//! this PC appeared recently (`CountPC`), and how often this address
+//! (`CountAddr`)? An "empty" record can be appended after an uncontended
+//! locked commit to age out stale contention evidence (Section 5.2).
+
+/// One abort record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortRecord {
+    /// PC of the anchor attributed to the abort (0 = unattributed/empty).
+    pub pc: u64,
+    /// Conflicting data address, line-aligned (0 = empty record).
+    pub addr: u64,
+}
+
+impl AbortRecord {
+    pub const EMPTY: AbortRecord = AbortRecord { pc: 0, addr: 0 };
+}
+
+/// Ring buffer of recent abort records (paper: `NUM_HISTORY` = 8).
+#[derive(Debug, Clone)]
+pub struct AbortHistory {
+    ring: Vec<AbortRecord>,
+    next: usize,
+    len: usize,
+}
+
+impl AbortHistory {
+    pub fn new(capacity: usize) -> AbortHistory {
+        assert!(capacity > 0);
+        AbortHistory {
+            ring: vec![AbortRecord::EMPTY; capacity],
+            next: 0,
+            len: 0,
+        }
+    }
+
+    /// Append a record, displacing the oldest when full (the paper's
+    /// `AppendToHistory`).
+    pub fn append(&mut self, pc: u64, addr: u64) {
+        self.ring[self.next] = AbortRecord { pc, addr };
+        self.next = (self.next + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+    }
+
+    /// Append an empty record — ages out contention evidence after an
+    /// uncontended locked commit, avoiding over-locking (Section 5.2).
+    pub fn append_empty(&mut self) {
+        self.append(0, 0);
+    }
+
+    /// How many live records carry address `addr` (the paper's `CountAddr`)?
+    /// Empty records never match.
+    pub fn count_addr(&self, addr: u64) -> u32 {
+        if addr == 0 {
+            return 0;
+        }
+        self.iter().filter(|r| r.addr == addr).count() as u32
+    }
+
+    /// How many live records carry PC `pc` (the paper's `CountPC`)?
+    pub fn count_pc(&self, pc: u64) -> u32 {
+        if pc == 0 {
+            return 0;
+        }
+        self.iter().filter(|r| r.pc == pc).count() as u32
+    }
+
+    /// Live records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &AbortRecord> {
+        let cap = self.ring.len();
+        let start = (self.next + cap - self.len) % cap;
+        (0..self.len).map(move |i| &self.ring[(start + i) % cap])
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_count() {
+        let mut h = AbortHistory::new(8);
+        h.append(0x100, 0x40);
+        h.append(0x100, 0x80);
+        h.append(0x200, 0x40);
+        assert_eq!(h.count_pc(0x100), 2);
+        assert_eq!(h.count_pc(0x200), 1);
+        assert_eq!(h.count_pc(0x300), 0);
+        assert_eq!(h.count_addr(0x40), 2);
+        assert_eq!(h.count_addr(0x80), 1);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn ring_displaces_oldest() {
+        let mut h = AbortHistory::new(4);
+        for i in 0..6u64 {
+            h.append(0x100 + i, 0x40);
+        }
+        assert_eq!(h.len(), 4);
+        // Oldest two (0x100, 0x101) displaced.
+        assert_eq!(h.count_pc(0x100), 0);
+        assert_eq!(h.count_pc(0x101), 0);
+        assert_eq!(h.count_pc(0x105), 1);
+        assert_eq!(h.count_addr(0x40), 4);
+        let pcs: Vec<u64> = h.iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0x102, 0x103, 0x104, 0x105]);
+    }
+
+    #[test]
+    fn empty_records_shift_out_evidence() {
+        let mut h = AbortHistory::new(4);
+        for _ in 0..4 {
+            h.append(0x100, 0x40);
+        }
+        assert_eq!(h.count_addr(0x40), 4);
+        h.append_empty();
+        h.append_empty();
+        assert_eq!(h.count_addr(0x40), 2);
+        assert_eq!(h.count_pc(0x100), 2);
+        // Empty records never count as matches even for zero queries.
+        assert_eq!(h.count_pc(0), 0);
+        assert_eq!(h.count_addr(0), 0);
+    }
+
+    #[test]
+    fn iter_order_oldest_first() {
+        let mut h = AbortHistory::new(3);
+        h.append(1, 1);
+        h.append(2, 2);
+        let v: Vec<u64> = h.iter().map(|r| r.pc).collect();
+        assert_eq!(v, vec![1, 2]);
+        h.append(3, 3);
+        h.append(4, 4); // displaces 1
+        let v: Vec<u64> = h.iter().map(|r| r.pc).collect();
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Advisory lock table and the irrevocable-mode global lock.
+//!
+//! Both live in *simulated* memory, in dedicated cache lines that no
+//! transaction ever touches speculatively, and are manipulated exclusively
+//! with nontransactional loads/stores/CAS — the hardware capability the
+//! paper requires (Section 4). Acquiring an advisory lock therefore never
+//! grows a read/write set and never causes an abort by itself.
+
+use htm_sim::{line_of, Addr, Core, Machine, LINE_BYTES};
+
+/// A static, pre-allocated array of advisory locks, chosen by hashing the
+/// contended data address (paper Section 5.1, `AcquireLockFor`).
+///
+/// Each lock occupies its own cache line. The table is created once per
+/// machine (host-side) and the handle is `Copy`, so every thread runtime
+/// carries one.
+#[derive(Debug, Clone, Copy)]
+pub struct LockTable {
+    base: Addr,
+    n_locks: u64,
+}
+
+impl LockTable {
+    /// Allocate `n_locks` lock lines in `machine`'s memory (power of two).
+    pub fn new(machine: &Machine, n_locks: usize) -> LockTable {
+        assert!(n_locks.is_power_of_two());
+        let base = machine.host_alloc(n_locks as u64 * (LINE_BYTES / 8), true);
+        LockTable {
+            base,
+            n_locks: n_locks as u64,
+        }
+    }
+
+    /// The lock word guarding `addr` (same line ⇒ same lock; different
+    /// lines spread over the table by a multiplicative hash).
+    pub fn lock_addr_for(&self, addr: Addr) -> Addr {
+        let line = line_of(addr);
+        // Fibonacci hashing spreads consecutive lines.
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        self.base + (h % self.n_locks) * LINE_BYTES
+    }
+
+    /// Try to acquire the lock for `addr` once (no spinning). Returns the
+    /// lock word address on success.
+    pub fn try_acquire(&self, core: &mut Core, addr: Addr) -> Option<Addr> {
+        let word = self.lock_addr_for(addr);
+        core.nt_cas(word, 0, core.tid() as u64 + 1).then_some(word)
+    }
+
+    /// Mark a lock word as contended (a waiter spun on it). The flag lives
+    /// in the second word of the lock's line, so it costs no extra lines.
+    fn mark_contended(core: &mut Core, word: Addr) {
+        if core.nt_load(word + 8) == 0 {
+            core.nt_store(word + 8, 1);
+        }
+    }
+
+    /// Acquire with spin + timeout. Returns `Some(lock word)` on success;
+    /// `None` when `timeout_cycles` of waiting elapsed, in which case the
+    /// caller simply proceeds without the lock (advisory semantics:
+    /// correctness is the HTM's job).
+    ///
+    /// Wait time is charged to the core's `lock_wait_cycles`.
+    pub fn acquire(
+        &self,
+        core: &mut Core,
+        addr: Addr,
+        timeout_cycles: u64,
+        spin_quantum: u64,
+    ) -> Option<Addr> {
+        let word = self.lock_addr_for(addr);
+        let me = core.tid() as u64 + 1;
+        let mut waited = 0u64;
+        loop {
+            if core.nt_cas(word, 0, me) {
+                return Some(word);
+            }
+            Self::mark_contended(core, word);
+            if waited >= timeout_cycles {
+                return None;
+            }
+            core.charge_lock_wait(spin_quantum);
+            waited += spin_quantum;
+        }
+    }
+
+    /// Release a previously acquired lock word. Returns `true` when some
+    /// other thread contended for the lock while we held it (consumed:
+    /// the flag is cleared) — the paper's "no contention on that lock"
+    /// test for appending an empty history record.
+    pub fn release(&self, core: &mut Core, word: Addr) -> bool {
+        debug_assert_eq!(core.nt_load(word), core.tid() as u64 + 1);
+        let contended = core.nt_load(word + 8) != 0;
+        if contended {
+            core.nt_store(word + 8, 0);
+        }
+        core.nt_store(word, 0);
+        contended
+    }
+}
+
+/// The global fallback lock for irrevocable mode.
+///
+/// Hardware transactions *subscribe* by transactionally loading the word
+/// immediately before commit (paper Section 6: "hardware transactions add
+/// the global lock to their read set immediately before attempting to
+/// commit"), so an irrevocable writer's release — or acquisition — dooms
+/// any transaction that raced past it.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalLock {
+    word: Addr,
+}
+
+impl GlobalLock {
+    pub fn new(machine: &Machine) -> GlobalLock {
+        GlobalLock {
+            word: machine.host_alloc(LINE_BYTES / 8, true),
+        }
+    }
+
+    /// The lock word's address (for transactional subscription).
+    pub fn addr(&self) -> Addr {
+        self.word
+    }
+
+    /// Blocking acquire (nontransactional; used only outside transactions).
+    pub fn acquire(&self, core: &mut Core, spin_quantum: u64) {
+        let me = core.tid() as u64 + 1;
+        while !core.nt_cas(self.word, 0, me) {
+            core.charge_lock_wait(spin_quantum);
+        }
+    }
+
+    pub fn release(&self, core: &mut Core) {
+        debug_assert_eq!(core.nt_load(self.word), core.tid() as u64 + 1);
+        core.nt_store(self.word, 0);
+    }
+
+    /// Is the lock currently held? (NT read.)
+    pub fn is_held(&self, core: &mut Core) -> bool {
+        core.nt_load(self.word) != 0
+    }
+
+    /// Spin (nontransactionally) until the lock is free.
+    pub fn wait_until_free(&self, core: &mut Core, spin_quantum: u64) {
+        while core.nt_load(self.word) != 0 {
+            core.charge_lock_wait(spin_quantum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::MachineConfig;
+
+    #[test]
+    fn same_line_same_lock_distinct_lines_spread() {
+        let m = Machine::new(MachineConfig::small(1));
+        let t = LockTable::new(&m, 256);
+        assert_eq!(t.lock_addr_for(1024), t.lock_addr_for(1024 + 56));
+        // Lock addresses are line-aligned and within the table.
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let w = t.lock_addr_for(4096 + i * 64);
+            assert_eq!(w % LINE_BYTES, 0);
+            distinct.insert(w);
+        }
+        assert!(distinct.len() > 128, "hash must spread lines over locks");
+    }
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let m = Machine::new(MachineConfig::small(1));
+        let t = LockTable::new(&m, 16);
+        m.run(vec![Box::new(move |c: &mut Core| {
+            let w = t.acquire(c, 5000, 100_000, 30).expect("uncontended");
+            assert!(t.try_acquire(c, 5000).is_none(), "held lock busy");
+            t.release(c, w);
+            assert!(t.try_acquire(c, 5000).is_some());
+        })]);
+    }
+
+    #[test]
+    fn acquire_times_out_when_held_by_other() {
+        let m = Machine::new(MachineConfig::small(2));
+        let t = LockTable::new(&m, 16);
+        let flag = m.host_alloc(8, true);
+        m.run(vec![
+            Box::new(move |c: &mut Core| {
+                let _w = t.acquire(c, 5000, 100_000, 30).unwrap();
+                c.nt_store(flag, 1);
+                // Hold it "forever" relative to the other thread's timeout.
+                c.compute(500_000);
+            }),
+            Box::new(move |c: &mut Core| {
+                while c.nt_load(flag) == 0 {
+                    c.compute(50);
+                }
+                let r = t.acquire(c, 5000, 1_000, 30);
+                assert!(r.is_none(), "must time out and proceed without lock");
+            }),
+        ]);
+        let agg = m.stats().aggregate();
+        assert!(agg.lock_wait_cycles >= 1000);
+    }
+
+    #[test]
+    fn global_lock_subscription_dooms_racing_txn() {
+        let m = Machine::new(MachineConfig::small(2));
+        let gl = GlobalLock::new(&m);
+        let data = m.host_alloc(8, true);
+        let ready = m.host_alloc(8, true);
+        m.run(vec![
+            // Irrevocable thread: take the lock, mutate, release.
+            Box::new(move |c: &mut Core| {
+                gl.acquire(c, 30);
+                c.nt_store(ready, 1);
+                c.compute(2_000);
+                c.nt_store(data, 99);
+                gl.release(c);
+            }),
+            // Transactional thread: begins while the lock is held; commit
+            // subscription must observe it.
+            Box::new(move |c: &mut Core| {
+                while c.nt_load(ready) == 0 {
+                    c.compute(20);
+                }
+                c.tx_begin(0);
+                let _ = c.tx_load(data, 0x100);
+                // Subscribe: lock is held, so the correct move is to abort.
+                let held = c.tx_load(gl.addr(), 0x104);
+                match held {
+                    Ok(v) if v != 0 => {
+                        let _ = c.tx_abort();
+                    }
+                    Ok(_) => {
+                        // Lock free at subscription: but our read of `data`
+                        // may have been doomed by the NT store.
+                        let _ = c.tx_commit();
+                    }
+                    Err(_) => {}
+                }
+            }),
+        ]);
+        assert_eq!(m.host_load(data), 99);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let m = Machine::new(MachineConfig::small(4));
+        let t = LockTable::new(&m, 16);
+        let counter = m.host_alloc(8, true);
+        m.run_uniform(move |c| {
+            for _ in 0..30 {
+                let w = loop {
+                    if let Some(w) = t.acquire(c, counter, 1 << 30, 25) {
+                        break w;
+                    }
+                };
+                let v = c.nt_load(counter);
+                c.compute(7);
+                c.nt_store(counter, v + 1);
+                t.release(c, w);
+            }
+        });
+        assert_eq!(m.host_load(counter), 120);
+    }
+}

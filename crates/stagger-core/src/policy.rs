@@ -1,0 +1,289 @@
+//! The locking policy — the paper's Figure 6 (`ActivateALPoint`).
+//!
+//! Called on every contention abort with the anchor the abort was
+//! attributed to. Four behaviours, keyed on whether the conflicting PC and
+//! data address recur in recent history:
+//!
+//! | PC recurrent | addr recurrent | behaviour |
+//! |---|---|---|
+//! | yes | yes | **precise mode** — lock only on that address |
+//! | yes | no (early retries) | **coarse-grain mode** — lock any address at that ALP |
+//! | yes | no (persistent) | **locking promotion** — move to the parent anchor |
+//! | no | — | **training mode** — just record |
+
+use crate::context::{ABContext, Activation};
+use stagger_compiler::UnifiedAnchorTable;
+
+/// Policy thresholds (paper Section 6: history of 8 records, `PC_THR = 2`,
+/// `ADDR_THR = 2`).
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    pub pc_thr: u32,
+    pub addr_thr: u32,
+    /// Retry count at which persistent coarse-grain contention is promoted
+    /// to the parent anchor (Figure 6's `PROM_THR`).
+    pub prom_thr: u32,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            pc_thr: 2,
+            addr_thr: 2,
+            prom_thr: 3,
+        }
+    }
+}
+
+/// One policy step on a contention abort attributed to `anchor_id` (0 if
+/// the runtime could not identify an anchor), with `conf_addr` the
+/// conflicting line address and `retries` the current instance's retry
+/// count. Updates `ctx.activation` and appends to history.
+///
+/// `anchor_pc` is the PC of the attributed anchor's memory access (used as
+/// the history key); pass 0 when unattributed.
+pub fn activate_alpoint(
+    cfg: &PolicyConfig,
+    table: &UnifiedAnchorTable,
+    ctx: &mut ABContext,
+    anchor_id: u32,
+    anchor_pc: u64,
+    conf_addr: u64,
+    retries: u32,
+) {
+    if anchor_id == 0 {
+        // Unattributed abort: training; still record the address so precise
+        // AddrOnly-style patterns could emerge later.
+        ctx.history.append(0, conf_addr);
+        ctx.activation = Activation::Training;
+        return;
+    }
+    let a = ctx.history.count_addr(conf_addr) > cfg.addr_thr;
+    let p = ctx.history.count_pc(anchor_pc) > cfg.pc_thr;
+
+    ctx.activation = if p && a {
+        // Case 1: precise mode — statistics/bookkeeping data or cyclic
+        // dependences on a stable address.
+        Activation::Precise {
+            anchor: anchor_id,
+            addr: conf_addr,
+        }
+    } else if p {
+        let parent = table.parent_of(anchor_id);
+        let already_promoted =
+            parent != 0 && ctx.activation == (Activation::Coarse { anchor: parent });
+        if already_promoted {
+            // A promotion must stick: demoting back to the child on the
+            // next low-retry abort would split threads across two lock
+            // domains (child lock vs parent lock) that cannot exclude each
+            // other. Only decay-to-training undoes a promotion.
+            Activation::Coarse { anchor: parent }
+        } else if retries < cfg.prom_thr {
+            // Case 2: coarse grain — stable PC, wandering addresses
+            // (pointer-based structures).
+            Activation::Coarse { anchor: anchor_id }
+        } else {
+            // Case 3: locking promotion — climb to the parent anchor (the
+            // data structure's root/holder), breaking conflict cycles.
+            Activation::Coarse {
+                anchor: if parent != 0 { parent } else { anchor_id },
+            }
+        }
+    } else {
+        // Case 4: training — but an established activation whose own
+        // evidence is still strong in the history is *kept*, not torn
+        // down: when two conflict sources interleave (e.g. memcached's
+        // stats line and its hash chains), a weak-evidence abort from one
+        // must not thrash the lock protecting the other. Decay of stale
+        // activations is handled by the empty records appended on
+        // uncontended locked commits.
+        match ctx.activation {
+            Activation::Precise { anchor, addr }
+                if ctx.history.count_addr(addr) > cfg.addr_thr
+                    && anchor_evidence(table, ctx, anchor, cfg.pc_thr) =>
+            {
+                ctx.activation
+            }
+            Activation::Coarse { anchor } if anchor_evidence(table, ctx, anchor, cfg.pc_thr) => {
+                ctx.activation
+            }
+            _ => Activation::Training,
+        }
+    };
+
+    ctx.history.append(anchor_pc, conf_addr);
+}
+
+/// Does the history still show recurrent aborts attributed to `anchor` (or
+/// to a child whose promotion target it is)?
+fn anchor_evidence(
+    table: &UnifiedAnchorTable,
+    ctx: &ABContext,
+    anchor: u32,
+    pc_thr: u32,
+) -> bool {
+    let Some(entry) = table.anchor_entry(anchor) else {
+        return false;
+    };
+    if ctx.history.count_pc(entry.pc) > pc_thr {
+        return true;
+    }
+    // A promoted (parent) anchor is justified by its children's PCs.
+    table
+        .entries
+        .iter()
+        .filter(|e| e.is_anchor && e.parent_anchor == anchor)
+        .any(|e| ctx.history.count_pc(e.pc) > pc_thr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stagger_compiler::{compile, Compiled};
+    use tm_ir::{FuncBuilder, FuncKind, Module};
+
+    /// A compiled module with a two-level anchor chain: anchor on the
+    /// "table" node (parent) and anchor on the collapsed "list" node
+    /// (child), like Figure 3.
+    fn compiled_chain() -> Compiled {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("tx", 1, FuncKind::Atomic { ab_id: 0 });
+        let table = b.param(0);
+        let node = b.load(table, 0); // anchor 1: table node
+        b.while_(
+            |b| b.nei(node, 0),
+            |b| {
+                let _v = b.load(node, 2); // anchor 2: list node (parent = table)
+                let nx = b.load(node, 1);
+                b.assign(node, nx);
+            },
+        );
+        b.ret(None);
+        m.add_function(b.finish());
+        compile(&m)
+    }
+
+    /// The child anchor (one with a nonzero parent) and its parent.
+    fn child_and_parent(c: &Compiled) -> (u32, u64, u32) {
+        let t = c.table(0);
+        let e = t
+            .entries
+            .iter()
+            .find(|e| e.is_anchor && e.parent_anchor != 0)
+            .expect("child anchor");
+        (e.anchor_id, e.pc, e.parent_anchor)
+    }
+
+    #[test]
+    fn training_until_thresholds() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        let (child, pc, _) = child_and_parent(&c);
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        // First two aborts: counts are 0 and 1 ≤ PC_THR → training.
+        for _ in 0..2 {
+            activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x1000, 0);
+            assert_eq!(ctx.activation, Activation::Training);
+        }
+    }
+
+    #[test]
+    fn precise_mode_on_recurrent_pc_and_addr() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        let (child, pc, _) = child_and_parent(&c);
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        for _ in 0..4 {
+            activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x1000, 0);
+        }
+        assert_eq!(
+            ctx.activation,
+            Activation::Precise {
+                anchor: child,
+                addr: 0x1000
+            }
+        );
+    }
+
+    #[test]
+    fn coarse_mode_on_recurrent_pc_wandering_addr() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        let (child, pc, _) = child_and_parent(&c);
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        for i in 0..4u64 {
+            activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x1000 + i * 64, 1);
+        }
+        assert_eq!(ctx.activation, Activation::Coarse { anchor: child });
+    }
+
+    #[test]
+    fn promotion_to_parent_after_persistent_retries() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        let (child, pc, parent) = child_and_parent(&c);
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        // Warm up the PC history with varying addresses (retries below
+        // PROM_THR keep it in plain coarse mode).
+        for i in 0..4u64 {
+            activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x2000 + i * 64, 1);
+        }
+        assert_eq!(ctx.activation, Activation::Coarse { anchor: child });
+        // A retry at/after PROM_THR promotes to the parent anchor.
+        activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x9000, cfg.prom_thr);
+        assert_eq!(ctx.activation, Activation::Coarse { anchor: parent });
+    }
+
+    #[test]
+    fn promotion_without_parent_keeps_anchor() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        // The parent (table) anchor itself has no parent.
+        let (_, _, parent) = child_and_parent(&c);
+        let parent_pc = t.anchor_entry(parent).unwrap().pc;
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        for i in 0..4u64 {
+            activate_alpoint(&cfg, t, &mut ctx, parent, parent_pc, 0x3000 + i * 64, 9);
+        }
+        assert_eq!(ctx.activation, Activation::Coarse { anchor: parent });
+    }
+
+    #[test]
+    fn unattributed_abort_trains_and_records() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        activate_alpoint(&cfg, t, &mut ctx, 0, 0, 0x4000, 0);
+        assert_eq!(ctx.activation, Activation::Training);
+        assert_eq!(ctx.history.count_addr(0x4000), 1);
+    }
+
+    #[test]
+    fn empty_entries_decay_back_to_training() {
+        let c = compiled_chain();
+        let t = c.table(0);
+        let (child, pc, _) = child_and_parent(&c);
+        let mut ctx = ABContext::new(0, 8);
+        let cfg = PolicyConfig::default();
+        for _ in 0..4 {
+            activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x1000, 0);
+        }
+        assert!(matches!(ctx.activation, Activation::Precise { .. }));
+        // Eight uncontended locked commits age everything out.
+        for _ in 0..8 {
+            ctx.history.append_empty();
+        }
+        activate_alpoint(&cfg, t, &mut ctx, child, pc, 0x1000, 0);
+        assert_eq!(
+            ctx.activation,
+            Activation::Training,
+            "stale evidence must not keep locking"
+        );
+    }
+}

@@ -1,0 +1,851 @@
+//! Per-thread runtime state and the ALPoint fast path (paper Section 5).
+
+use crate::context::{ABContext, Activation};
+use crate::locks::{GlobalLock, LockTable};
+use crate::policy::{activate_alpoint, PolicyConfig};
+use htm_sim::{line_of, AbortInfo, Addr, Core, Machine};
+use stagger_compiler::Compiled;
+use std::collections::HashMap;
+
+/// Execution modes compared in the paper's Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Baseline eager HTM — ALPs behave as if not present (the paper's
+    /// baseline runs the uninstrumented binary).
+    Htm,
+    /// "AddrOnly": one fixed ALP at the start of each atomic block;
+    /// precise mode only, keyed purely on conflicting-address recurrence.
+    AddrOnly,
+    /// Staggered Transactions with the *software* conflicting-PC
+    /// alternative of Section 4 (a per-thread line→anchor map maintained at
+    /// every executed ALP, with its run-time overhead charged).
+    StaggeredSw,
+    /// Staggered Transactions with hardware conflicting-PC support (12-bit
+    /// per-line PC tags).
+    Staggered,
+}
+
+impl Mode {
+    pub const ALL: [Mode; 4] = [Mode::Htm, Mode::AddrOnly, Mode::StaggeredSw, Mode::Staggered];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Htm => "HTM",
+            Mode::AddrOnly => "AddrOnly",
+            Mode::StaggeredSw => "Staggered+SW",
+            Mode::Staggered => "Staggered",
+        }
+    }
+}
+
+/// Sentinel anchor id for the AddrOnly block-start ALP (not a compiled
+/// anchor; handled directly by `txn_start`).
+pub const BLOCK_START_ANCHOR: u32 = u32::MAX;
+
+/// Runtime configuration (paper Section 6 values as defaults).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    pub mode: Mode,
+    pub policy: PolicyConfig,
+    /// Abort-history length per ABContext (paper: 8).
+    pub history_len: usize,
+    /// Hardware retries before irrevocable fallback (paper: 10).
+    pub max_retries: u32,
+    /// Advisory lock table size (power of two).
+    pub n_locks: usize,
+    /// Advisory-lock acquire timeout, in cycles — a few typical transaction
+    /// lengths, bounding the serialization harm of a stale or over-broad
+    /// activation (Section 2: a waiter "can specify a timeout for its
+    /// acquire operation, and simply proceed when the timeout expires").
+    pub lock_timeout: u64,
+    /// Minimum recent contention-abort frequency (aborts per commit) for
+    /// the policy to activate any ALP — the paper's decision (1): locking
+    /// is driven by "the frequency of contention aborts". Below this, the
+    /// atomic block stays unlocked no matter what patterns the history
+    /// shows.
+    pub min_conflict_rate: f64,
+    /// Cycles charged per lock-spin poll.
+    pub lock_spin: u64,
+    /// Mean backoff per retry (the "Polite" policy: mean ∝ retry count).
+    pub backoff_base: u64,
+    /// Cost of an inactive ALP: "a test and a non-taken branch".
+    pub alp_inactive_cost: u64,
+    /// Extra per-ALP cost of maintaining the software conflicting-PC map.
+    pub sw_alp_overhead: u64,
+    /// Maximum advisory locks one transaction may hold. The paper fixes
+    /// this at 1 ("we acquire only one per transaction in this paper");
+    /// higher values enable the multi-lock extension: the first lock is
+    /// acquired blocking, later ones with a non-blocking try (so two
+    /// multi-lock transactions can never deadlock on each other).
+    pub max_locks_per_txn: usize,
+}
+
+impl RuntimeConfig {
+    pub fn with_mode(mode: Mode) -> RuntimeConfig {
+        RuntimeConfig {
+            mode,
+            policy: PolicyConfig::default(),
+            history_len: 8,
+            max_retries: 10,
+            n_locks: 1024,
+            lock_timeout: 200_000,
+            min_conflict_rate: 1.0,
+            lock_spin: 30,
+            backoff_base: 25,
+            alp_inactive_cost: 1,
+            sw_alp_overhead: 12,
+            max_locks_per_txn: 1,
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::with_mode(Mode::Staggered)
+    }
+}
+
+/// Machine-wide runtime structures shared (by value — both are handles to
+/// simulated memory) across all thread runtimes.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedRt {
+    pub locks: LockTable,
+    pub global: GlobalLock,
+}
+
+impl SharedRt {
+    pub fn new(machine: &Machine, cfg: &RuntimeConfig) -> SharedRt {
+        SharedRt {
+            locks: LockTable::new(machine, cfg.n_locks),
+            global: GlobalLock::new(machine),
+        }
+    }
+}
+
+/// Runtime counters per thread — aggregated for Table 3 accuracy and
+/// policy diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct RtStats {
+    /// Histogram of conflicting (line) addresses over contention aborts —
+    /// drives the paper's Table 1 "LA" locality classification.
+    pub addr_hist: HashMap<u64, u64>,
+    /// Histogram of true first-access PCs over contention aborts — drives
+    /// the Table 1 "LP" classification.
+    pub pc_hist: HashMap<u64, u64>,
+    /// Contention aborts processed by the policy.
+    pub contention_aborts: u64,
+    /// Of those, aborts where an anchor was identified at all.
+    pub anchor_identified: u64,
+    /// Of those, aborts where the identified anchor matches ground truth
+    /// (the anchor of the true first access to the contended line).
+    pub anchor_correct: u64,
+    pub locks_acquired: u64,
+    pub lock_timeouts: u64,
+    /// Activation outcomes.
+    pub act_precise: u64,
+    pub act_coarse: u64,
+    pub act_training: u64,
+    /// Dynamic count of executed ALPoints.
+    pub alps_executed: u64,
+    /// Which lock words were acquired (diagnostics).
+    pub lock_word_hist: HashMap<u64, u64>,
+    /// Which anchors were activated (diagnostics).
+    pub anchor_hist: HashMap<u32, u64>,
+}
+
+impl RtStats {
+    pub fn add(&mut self, o: &RtStats) {
+        for (&k, &v) in &o.addr_hist {
+            *self.addr_hist.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &o.pc_hist {
+            *self.pc_hist.entry(k).or_insert(0) += v;
+        }
+        self.contention_aborts += o.contention_aborts;
+        self.anchor_identified += o.anchor_identified;
+        self.anchor_correct += o.anchor_correct;
+        self.locks_acquired += o.locks_acquired;
+        self.lock_timeouts += o.lock_timeouts;
+        self.act_precise += o.act_precise;
+        self.act_coarse += o.act_coarse;
+        self.act_training += o.act_training;
+        self.alps_executed += o.alps_executed;
+        for (&k, &v) in &o.lock_word_hist {
+            *self.lock_word_hist.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &o.anchor_hist {
+            *self.anchor_hist.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Table 3 "Accuracy": fraction of contention aborts whose anchor was
+    /// correctly identified.
+    pub fn accuracy(&self) -> f64 {
+        if self.contention_aborts == 0 {
+            1.0
+        } else {
+            self.anchor_correct as f64 / self.contention_aborts as f64
+        }
+    }
+
+    /// Share of aborts attributable to the single most frequent conflicting
+    /// address (Table 1's "LA": Y when a common datum dominates).
+    pub fn addr_locality(&self) -> f64 {
+        Self::top_share(&self.addr_hist)
+    }
+
+    /// Share of aborts attributable to the single most frequent
+    /// first-access PC (Table 1's "LP").
+    pub fn pc_locality(&self) -> f64 {
+        Self::top_share(&self.pc_hist)
+    }
+
+    fn top_share(h: &HashMap<u64, u64>) -> f64 {
+        let total: u64 = h.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *h.values().max().unwrap() as f64 / total as f64
+    }
+}
+
+/// All Staggered Transactions state of one simulated thread.
+pub struct ThreadRuntime<'c> {
+    pub cfg: RuntimeConfig,
+    compiled: &'c Compiled,
+    shared: SharedRt,
+    ctxs: HashMap<u32, ABContext>,
+    held_locks: Vec<Addr>,
+    /// Software conflicting-PC map (Section 4): line → anchor id, set at
+    /// each executed ALP if absent.
+    sw_map: HashMap<u64, u32>,
+    /// Deterministic backoff jitter state.
+    rng: u64,
+    pub stats: RtStats,
+}
+
+impl<'c> ThreadRuntime<'c> {
+    pub fn new(cfg: RuntimeConfig, compiled: &'c Compiled, shared: SharedRt, tid: usize) -> Self {
+        ThreadRuntime {
+            cfg,
+            compiled,
+            shared,
+            ctxs: HashMap::new(),
+            held_locks: Vec::new(),
+            sw_map: HashMap::new(),
+            rng: 0x9E37_79B9 ^ ((tid as u64 + 1) << 32) | 1,
+            stats: RtStats::default(),
+        }
+    }
+
+    pub fn shared(&self) -> SharedRt {
+        self.shared
+    }
+
+    pub fn compiled(&self) -> &'c Compiled {
+        self.compiled
+    }
+
+    fn ctx_mut(&mut self, ab_id: u32) -> &mut ABContext {
+        let hl = self.cfg.history_len;
+        self.ctxs
+            .entry(ab_id)
+            .or_insert_with(|| ABContext::new(ab_id, hl))
+    }
+
+    /// Peek at an atomic block's context (tests/diagnostics).
+    pub fn ctx(&self, ab_id: u32) -> Option<&ABContext> {
+        self.ctxs.get(&ab_id)
+    }
+
+    fn next_rand(&mut self, bound: u64) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) % bound.max(1)
+    }
+
+    /// Called right after `tx_begin`: restores the instance activation and
+    /// performs the AddrOnly block-start acquisition if configured.
+    pub fn txn_start(&mut self, core: &mut Core, ab_id: u32) {
+        if self.cfg.mode == Mode::Htm {
+            return;
+        }
+        let addr_only = self.cfg.mode == Mode::AddrOnly;
+        let dormant_below = self.cfg.min_conflict_rate * 0.7;
+        let ctx = self.ctx_mut(ab_id);
+        ctx.begin_instance();
+        // Decision (1), applied continuously: once the block's recent
+        // contention-abort frequency drops (because the lock eliminated the
+        // conflicts and commits accumulated), the learned activation goes
+        // *dormant* — the pattern knowledge is kept but no lock is taken.
+        // If contention returns, new aborts raise the rate and the
+        // activation resumes. The /2 provides hysteresis.
+        if ctx.active_anchor != 0 && ctx.conflict_rate() < dormant_below {
+            ctx.active_anchor = 0;
+            return;
+        }
+        let _ = &dormant_below;
+        if addr_only {
+            if let Activation::Precise {
+                anchor: BLOCK_START_ANCHOR,
+                addr,
+            } = ctx.activation
+            {
+                ctx.active_anchor = 0;
+                self.acquire_lock_for(core, addr);
+            }
+        }
+    }
+
+    /// The ALPoint instrumentation function (paper Figure 5), invoked by
+    /// the interpreter at each `AlPoint` instruction with the data address
+    /// of the following access. `in_txn` is false when the containing
+    /// function is called outside any transaction (the ALP is inert then).
+    pub fn alpoint(&mut self, core: &mut Core, ab_id: u32, anchor: u32, addr: Addr, in_txn: bool) {
+        match self.cfg.mode {
+            // Baseline: the paper's HTM bars run the *uninstrumented*
+            // binary, so ALPs cost nothing at all.
+            Mode::Htm => return,
+            _ => {}
+        }
+        self.stats.alps_executed += 1;
+        core.compute(self.cfg.alp_inactive_cost);
+        if !in_txn {
+            return;
+        }
+        if self.cfg.mode == Mode::StaggeredSw {
+            core.compute(self.cfg.sw_alp_overhead);
+            self.sw_map.entry(line_of(addr)).or_insert(anchor);
+        }
+        if self.cfg.mode == Mode::AddrOnly {
+            return; // only the block-start ALP acts in this mode
+        }
+        let ctx = self.ctx_mut(ab_id);
+        if ctx.active_anchor == anchor && ctx.address_matches(addr) {
+            self.acquire_lock_for(core, addr);
+            // With the paper's configuration (max_locks_per_txn = 1) the
+            // anchor is consumed after the first acquisition; the
+            // multi-lock extension keeps it active until the budget is
+            // exhausted.
+            if self.held_locks.len() >= self.cfg.max_locks_per_txn {
+                self.ctx_mut(ab_id).active_anchor = 0;
+            }
+        }
+    }
+
+    fn acquire_lock_for(&mut self, core: &mut Core, addr: Addr) {
+        if self.held_locks.len() >= self.cfg.max_locks_per_txn {
+            return;
+        }
+        let word = self.shared.locks.lock_addr_for(addr);
+        if self.held_locks.contains(&word) {
+            return; // already ours (hash collision with an earlier address)
+        }
+        let got = if self.held_locks.is_empty() {
+            // First lock: blocking acquire with timeout.
+            self.shared
+                .locks
+                .acquire(core, addr, self.cfg.lock_timeout, self.cfg.lock_spin)
+        } else {
+            // Additional locks: non-blocking only — two transactions each
+            // holding one lock and trying for the other's can then never
+            // deadlock; the loser simply proceeds unprotected (advisory
+            // semantics make that safe).
+            self.shared.locks.try_acquire(core, addr)
+        };
+        match got {
+            Some(w) => {
+                self.held_locks.push(w);
+                self.stats.locks_acquired += 1;
+                *self.stats.lock_word_hist.entry(w).or_insert(0) += 1;
+            }
+            None => self.stats.lock_timeouts += 1,
+        }
+    }
+
+    /// Release all held advisory locks — on commit *and* on abort (paper
+    /// Section 5.1). Returns `Some(contended)` if any lock was held, where
+    /// `contended` is true when any of them saw waiters.
+    pub fn release_lock(&mut self, core: &mut Core) -> Option<bool> {
+        if self.held_locks.is_empty() {
+            return None;
+        }
+        let mut contended = false;
+        // Release in reverse acquisition order.
+        while let Some(w) = self.held_locks.pop() {
+            contended |= self.shared.locks.release(core, w);
+        }
+        Some(contended)
+    }
+
+    /// Whether an advisory lock is currently held.
+    pub fn holds_lock(&self) -> bool {
+        !self.held_locks.is_empty()
+    }
+
+    /// Attribute a contention abort to an anchor, per mode. Returns
+    /// `(anchor_id, anchor_pc)`, 0s when unattributed.
+    fn attribute(&self, ab_id: u32, info: &AbortInfo) -> (u32, u64) {
+        let table = self.compiled.table(ab_id);
+        match self.cfg.mode {
+            Mode::Htm | Mode::AddrOnly => (0, 0),
+            Mode::Staggered => match table.search_by_pc_tag(info.conf_pc_tag) {
+                Some(e) => {
+                    let pc = table.anchor_entry(e.anchor_id).map_or(0, |a| a.pc);
+                    (e.anchor_id, pc)
+                }
+                None => (0, 0),
+            },
+            Mode::StaggeredSw => match self.sw_map.get(&line_of(info.conf_addr)) {
+                Some(&id) => (id, self.compiled.anchor(id).pc),
+                None => (0, 0),
+            },
+        }
+    }
+
+    /// Ground-truth anchor for an abort: the anchor of the instruction that
+    /// truly first accessed the contended line (full PC, non-architectural).
+    fn ground_truth(&self, ab_id: u32, info: &AbortInfo) -> Option<u32> {
+        self.compiled
+            .table(ab_id)
+            .search_by_pc(info.true_first_pc)
+            .map(|e| e.anchor_id)
+    }
+
+    /// Handle a contention abort: release the lock, attribute, measure
+    /// accuracy, and run the Figure 6 policy. `retries` is the attempt
+    /// number within the current logical transaction.
+    pub fn on_conflict_abort(
+        &mut self,
+        core: &mut Core,
+        ab_id: u32,
+        info: &AbortInfo,
+        retries: u32,
+    ) {
+        self.release_lock(core);
+        // Locality histograms are recorded in every mode (offline analysis
+        // for Table 1, independent of the policy).
+        *self.stats.addr_hist.entry(info.conf_addr).or_insert(0) += 1;
+        *self
+            .stats
+            .pc_hist
+            .entry(info.true_first_pc)
+            .or_insert(0) += 1;
+        if self.cfg.mode == Mode::Htm {
+            return;
+        }
+        self.stats.contention_aborts += 1;
+        let min_rate = self.cfg.min_conflict_rate;
+        {
+            let ctx = self.ctx_mut(ab_id);
+            ctx.record_abort();
+        }
+        // Decision (1): only a block whose recent contention-abort
+        // frequency is high enough may lock at all.
+        let gated_off = self.ctx_mut(ab_id).conflict_rate() < min_rate;
+
+        if self.cfg.mode == Mode::AddrOnly {
+            // Simplified scheme: one fixed block-start ALP, precise mode
+            // only, keyed purely on address recurrence.
+            let addr = info.conf_addr;
+            let addr_thr = self.cfg.policy.addr_thr;
+            let ctx = self.ctx_mut(ab_id);
+            let recurrent = !gated_off && ctx.history.count_addr(addr) > addr_thr;
+            ctx.activation = if recurrent {
+                Activation::Precise {
+                    anchor: BLOCK_START_ANCHOR,
+                    addr,
+                }
+            } else {
+                Activation::Training
+            };
+            ctx.history.append(1, addr);
+            let act = ctx.activation;
+            match act {
+                Activation::Precise { .. } => self.stats.act_precise += 1,
+                _ => self.stats.act_training += 1,
+            }
+            return;
+        }
+
+        let (anchor_id, anchor_pc) = self.attribute(ab_id, info);
+        if anchor_id != 0 {
+            self.stats.anchor_identified += 1;
+        }
+        if let Some(truth) = self.ground_truth(ab_id, info) {
+            if anchor_id == truth {
+                self.stats.anchor_correct += 1;
+            }
+        }
+
+        let table = self.compiled.table(ab_id);
+        let policy = self.cfg.policy.clone();
+        let hl = self.cfg.history_len;
+        let ctx = self
+            .ctxs
+            .entry(ab_id)
+            .or_insert_with(|| ABContext::new(ab_id, hl));
+        activate_alpoint(
+            &policy, table, ctx, anchor_id, anchor_pc, info.conf_addr, retries,
+        );
+        if gated_off {
+            // Decision (1) vetoes: the block's recent conflict frequency is
+            // too low to justify serialization. History keeps learning.
+            ctx.activation = Activation::Training;
+        }
+        match ctx.activation {
+            Activation::Precise { .. } => self.stats.act_precise += 1,
+            Activation::Coarse { .. } => self.stats.act_coarse += 1,
+            Activation::Training => self.stats.act_training += 1,
+        }
+        let act_anchor = ctx.activation.anchor();
+        if act_anchor != 0 {
+            *self.stats.anchor_hist.entry(act_anchor).or_insert(0) += 1;
+        }
+    }
+
+    /// Handle a capacity/explicit abort (no contention evidence): just drop
+    /// the lock.
+    pub fn on_other_abort(&mut self, core: &mut Core) {
+        self.release_lock(core);
+    }
+
+    /// Handle a successful commit after `retries` failed attempts. An
+    /// uncontended first-try commit while holding an advisory lock appends
+    /// an empty history record, decaying stale contention evidence; once
+    /// every record has decayed, the activation itself is dropped —
+    /// "avoiding over-locking in the case of low contention" (Section 5.2).
+    pub fn on_commit(&mut self, core: &mut Core, ab_id: u32, retries: u32) {
+        let released = self.release_lock(core);
+        if self.cfg.mode == Mode::Htm {
+            return;
+        }
+        self.ctx_mut(ab_id).record_commit();
+        // "When a transaction commits while holding an advisory lock, but
+        // there was no contention on that lock, an empty entry can be
+        // appended" — a contended lock is doing useful serialization and
+        // must not decay.
+        if released == Some(false) && retries == 0 {
+            let ctx = self.ctx_mut(ab_id);
+            ctx.history.append_empty();
+            if ctx.history.iter().all(|r| r.pc == 0 && r.addr == 0) {
+                ctx.activation = Activation::Training;
+            }
+        }
+    }
+
+    /// Polite backoff before retry `retries` (mean spin proportional to the
+    /// retry count, with deterministic jitter).
+    pub fn backoff(&mut self, core: &mut Core, retries: u32) {
+        let mean = self.cfg.backoff_base * (retries as u64 + 1);
+        let jitter = self.next_rand(mean.max(1));
+        core.charge_backoff(mean / 2 + jitter);
+    }
+
+    /// The irrevocable-fallback global lock.
+    pub fn global_lock(&self) -> GlobalLock {
+        self.shared.global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::MachineConfig;
+    use stagger_compiler::compile;
+    use tm_ir::{FuncBuilder, FuncKind, Module};
+
+    fn compiled_simple() -> stagger_compiler::Compiled {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("tx", 1, FuncKind::Atomic { ab_id: 0 });
+        let p = b.param(0);
+        let v = b.load(p, 0); // anchor 1
+        let v2 = b.addi(v, 1);
+        b.store(v2, p, 0); // pioneer of anchor 1
+        b.ret(None);
+        m.add_function(b.finish());
+        compile(&m)
+    }
+
+    #[test]
+    fn htm_mode_alpoint_is_free() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Htm);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            assert_eq!(rt.stats.alps_executed, 0);
+            assert_eq!(core.now(), 0, "no cost charged in baseline mode");
+        })]);
+    }
+
+    #[test]
+    fn inactive_alp_costs_test_and_branch() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg.clone(), &c, shared, core.tid());
+            rt.txn_start(core, 0); // training: nothing active
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            assert_eq!(rt.stats.alps_executed, 1);
+            assert_eq!(core.now(), cfg.alp_inactive_cost);
+            assert!(!rt.holds_lock());
+        })]);
+    }
+
+    #[test]
+    fn active_alp_acquires_and_clears() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
+            rt.ctx_mut(0).window_aborts = 8; // recently contended
+            rt.txn_start(core, 0);
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            assert!(rt.holds_lock());
+            assert_eq!(rt.stats.locks_acquired, 1);
+            // Second ALP in the same instance: anchor already consumed.
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            assert_eq!(rt.stats.locks_acquired, 1);
+            rt.release_lock(core);
+            assert!(!rt.holds_lock());
+        })]);
+    }
+
+    #[test]
+    fn precise_mode_respects_address_match() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            rt.ctx_mut(0).activation = Activation::Precise {
+                anchor: 1,
+                addr: 0x4000,
+            };
+            rt.ctx_mut(0).window_aborts = 8; // recently contended
+            rt.txn_start(core, 0);
+            // Mismatched address: no lock, anchor stays active.
+            rt.alpoint(core, 0, 1, 0x9000, true);
+            assert!(!rt.holds_lock());
+            // Matching line: lock.
+            rt.alpoint(core, 0, 1, 0x4038, true);
+            assert!(rt.holds_lock());
+            rt.release_lock(core);
+        })]);
+    }
+
+    #[test]
+    fn sw_mode_maintains_map_and_attributes() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::StaggeredSw);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            rt.txn_start(core, 0);
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            // The map knows line 0x4000 -> anchor 1; a conflict there is
+            // attributed without any PC.
+            let info = AbortInfo {
+                cause: htm_sim::AbortCause::Conflict,
+                conf_addr: 0x4000,
+                conf_pc_tag: 0,
+                true_first_pc: 0,
+            };
+            let (id, pc) = rt.attribute(0, &info);
+            assert_eq!(id, 1);
+            assert_eq!(pc, rt.compiled().anchor(1).pc);
+            // Unknown line: unattributed.
+            let miss = AbortInfo {
+                conf_addr: 0xF000,
+                ..info
+            };
+            assert_eq!(rt.attribute(0, &miss), (0, 0));
+        })]);
+    }
+
+    #[test]
+    fn staggered_mode_attributes_via_pc_tag() {
+        let c = compiled_simple();
+        let t = c.table(0);
+        let anchor_entry = t.entries.iter().find(|e| e.is_anchor).unwrap();
+        let tag = tm_ir::CodeLayout::truncate_pc(anchor_entry.pc);
+        let expected = anchor_entry.anchor_id;
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            let info = AbortInfo {
+                cause: htm_sim::AbortCause::Conflict,
+                conf_addr: 0x4000,
+                conf_pc_tag: tag,
+                true_first_pc: 0,
+            };
+            let (id, _) = rt.attribute(0, &info);
+            assert_eq!(id, expected);
+        })]);
+    }
+
+    #[test]
+    fn addr_only_learns_block_start_lock() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::AddrOnly);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            let info = AbortInfo {
+                cause: htm_sim::AbortCause::Conflict,
+                conf_addr: 0x4000,
+                conf_pc_tag: 0,
+                true_first_pc: 0,
+            };
+            for _ in 0..7 {
+                rt.on_conflict_abort(core, 0, &info, 0);
+            }
+            assert_eq!(
+                rt.ctx(0).unwrap().activation,
+                Activation::Precise {
+                    anchor: BLOCK_START_ANCHOR,
+                    addr: 0x4000
+                }
+            );
+            // Next instance locks at block start.
+            rt.txn_start(core, 0);
+            assert!(rt.holds_lock());
+            rt.release_lock(core);
+        })]);
+    }
+
+    #[test]
+    fn commit_on_first_try_with_lock_appends_empty() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
+            rt.ctx_mut(0).history.append(0x500, 0x4000);
+            rt.ctx_mut(0).window_aborts = 8; // recently contended
+            rt.txn_start(core, 0);
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            assert!(rt.holds_lock());
+            rt.on_commit(core, 0, 0);
+            assert!(!rt.holds_lock());
+            let h = &rt.ctx(0).unwrap().history;
+            assert_eq!(h.len(), 2, "empty record appended");
+            assert_eq!(h.count_addr(0x4000), 1);
+        })]);
+    }
+
+    #[test]
+    fn multi_lock_extension_acquires_up_to_budget() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let mut cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        cfg.max_locks_per_txn = 2;
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
+            rt.ctx_mut(0).window_aborts = 8;
+            rt.txn_start(core, 0);
+            // Two different lines -> two locks.
+            rt.alpoint(core, 0, 1, 0x4000, true);
+            assert_eq!(rt.stats.locks_acquired, 1);
+            assert_ne!(rt.ctx(0).unwrap().active_anchor, 0, "budget not spent");
+            rt.alpoint(core, 0, 1, 0x9000, true);
+            assert_eq!(rt.stats.locks_acquired, 2);
+            assert_eq!(rt.ctx(0).unwrap().active_anchor, 0, "budget spent");
+            // A third attempt does nothing.
+            rt.alpoint(core, 0, 1, 0xC000, true);
+            assert_eq!(rt.stats.locks_acquired, 2);
+            // Release drops both.
+            assert!(rt.holds_lock());
+            rt.release_lock(core);
+            assert!(!rt.holds_lock());
+        })]);
+    }
+
+    #[test]
+    fn multi_lock_second_acquire_is_try_only() {
+        // A lock held by thread 0 must not block thread 1's *second*
+        // acquisition — it just proceeds without it (deadlock freedom).
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(2));
+        let mut cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        cfg.max_locks_per_txn = 2;
+        let shared = SharedRt::new(&machine, &cfg);
+        let flag = machine.host_alloc(8, true);
+        let c2 = c.clone();
+        machine.run(vec![
+            Box::new({
+                let cfg = cfg.clone();
+                move |core: &mut Core| {
+                    let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+                    rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
+                    rt.ctx_mut(0).window_aborts = 8;
+                    rt.txn_start(core, 0);
+                    rt.alpoint(core, 0, 1, 0x4000, true); // grab lock A
+                    core.nt_store(flag, 1);
+                    core.compute(400_000); // hold it for a long time
+                    rt.release_lock(core);
+                }
+            }),
+            Box::new(move |core: &mut Core| {
+                let mut rt = ThreadRuntime::new(cfg, &c2, shared, core.tid());
+                while core.nt_load(flag) == 0 {
+                    core.compute(50);
+                }
+                rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
+                rt.ctx_mut(0).window_aborts = 8;
+                rt.txn_start(core, 0);
+                rt.alpoint(core, 0, 1, 0x9000, true); // lock B: blocking, free
+                assert_eq!(rt.stats.locks_acquired, 1);
+                let before = core.now();
+                rt.alpoint(core, 0, 1, 0x4000, true); // lock A held: try-only
+                assert_eq!(rt.stats.locks_acquired, 1, "must not block");
+                assert_eq!(rt.stats.lock_timeouts, 1);
+                assert!(core.now() - before < 1_000, "try must be instant");
+                rt.release_lock(core);
+            }),
+        ]);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let c = compiled_simple();
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut Core| {
+            let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+            let t0 = core.now();
+            rt.backoff(core, 0);
+            let d1 = core.now() - t0;
+            let t1 = core.now();
+            for _ in 0..5 {
+                rt.backoff(core, 9);
+            }
+            let d2 = (core.now() - t1) / 5;
+            assert!(d2 > d1, "backoff mean grows with retries");
+        })]);
+        let agg = machine.stats().aggregate();
+        assert!(agg.backoff_cycles > 0);
+    }
+}

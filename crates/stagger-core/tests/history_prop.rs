@@ -1,0 +1,58 @@
+//! Property test: the abort-history ring buffer agrees with a naive
+//! keep-the-last-N vector model.
+
+use proptest::prelude::*;
+use stagger_core::AbortHistory;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ring_matches_naive_model(
+        cap in 1usize..12,
+        records in proptest::collection::vec((0u64..6, 0u64..6), 0..40),
+        query_pc in 0u64..6,
+        query_addr in 0u64..6,
+    ) {
+        let mut h = AbortHistory::new(cap);
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for &(pc, addr) in &records {
+            h.append(pc, addr);
+            model.push((pc, addr));
+            if model.len() > cap {
+                model.remove(0);
+            }
+        }
+        prop_assert_eq!(h.len(), model.len());
+        // Counts: zero keys never match (they denote empty/unattributed).
+        let expect_pc = if query_pc == 0 { 0 } else {
+            model.iter().filter(|r| r.0 == query_pc).count() as u32
+        };
+        let expect_addr = if query_addr == 0 { 0 } else {
+            model.iter().filter(|r| r.1 == query_addr).count() as u32
+        };
+        prop_assert_eq!(h.count_pc(query_pc), expect_pc);
+        prop_assert_eq!(h.count_addr(query_addr), expect_addr);
+        // Iteration order: oldest first, exactly the model.
+        let got: Vec<(u64, u64)> = h.iter().map(|r| (r.pc, r.addr)).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn empty_appends_displace_evidence(
+        cap in 1usize..10,
+        n_real in 0usize..10,
+        n_empty in 0usize..10,
+    ) {
+        let mut h = AbortHistory::new(cap);
+        for _ in 0..n_real {
+            h.append(7, 7);
+        }
+        for _ in 0..n_empty {
+            h.append_empty();
+        }
+        let expect = n_real.min(cap.saturating_sub(n_empty.min(cap)));
+        prop_assert_eq!(h.count_pc(7) as usize, expect);
+        prop_assert_eq!(h.count_addr(7) as usize, expect);
+    }
+}

@@ -1,0 +1,333 @@
+//! The DSGraph: DSNodes in a union-find, with field-labelled edges.
+
+use std::collections::BTreeMap;
+
+/// Pseudo field offset used for indexed (array) accesses: all elements of
+/// an array collapse onto one outgoing edge, as in Lattner's DSA.
+pub const ARRAY_FIELD: u32 = u32::MAX;
+
+/// Index of a DSNode within its [`DsGraph`]. May be a non-representative
+/// (unified-away) id; [`DsGraph::find`] resolves to the representative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+bitflags_lite::bitflags! {
+    /// Origin/usage flags of a DSNode, unioned on unification.
+    pub struct NodeFlags: u8 {
+        /// Allocated on the simulated heap (an `Alloc` site).
+        const HEAP = 1;
+        /// Reached through a function parameter.
+        const PARAM = 2;
+        /// Escapes via a return value.
+        const RETURNED = 4;
+    }
+}
+
+/// A tiny local `bitflags`-style helper so we avoid an external dependency.
+mod bitflags_lite {
+    macro_rules! bitflags {
+        (
+            $(#[$meta:meta])*
+            pub struct $name:ident: $ty:ty {
+                $( $(#[$fmeta:meta])* const $flag:ident = $val:expr; )*
+            }
+        ) => {
+            $(#[$meta])*
+            #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+            pub struct $name(pub $ty);
+            impl $name {
+                $( $(#[$fmeta])* pub const $flag: $name = $name($val); )*
+                pub const fn empty() -> Self { $name(0) }
+                pub fn contains(self, other: Self) -> bool {
+                    (self.0 & other.0) == other.0
+                }
+                pub fn insert(&mut self, other: Self) {
+                    self.0 |= other.0;
+                }
+            }
+            impl std::ops::BitOr for $name {
+                type Output = Self;
+                fn bitor(self, rhs: Self) -> Self { $name(self.0 | rhs.0) }
+            }
+        };
+    }
+    pub(crate) use bitflags;
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeData {
+    /// Outgoing field edges; values may be stale ids (resolve with `find`).
+    edges: BTreeMap<u32, NodeId>,
+    flags: NodeFlags,
+}
+
+/// A data-structure graph: union-find over DSNodes with field edges merged
+/// on unification.
+#[derive(Debug, Clone, Default)]
+pub struct DsGraph {
+    parent: Vec<u32>,
+    nodes: Vec<NodeData>,
+}
+
+impl DsGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of node slots ever created (including unified-away ones).
+    pub fn n_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct (representative) nodes.
+    pub fn n_nodes(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .count()
+    }
+
+    /// Create a fresh node.
+    pub fn fresh(&mut self, flags: NodeFlags) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.parent.push(id.0);
+        self.nodes.push(NodeData {
+            edges: BTreeMap::new(),
+            flags,
+        });
+        id
+    }
+
+    /// Representative of `n` (path-halving find).
+    pub fn find(&self, n: NodeId) -> NodeId {
+        let mut x = n.0 as usize;
+        while self.parent[x] != x as u32 {
+            x = self.parent[x] as usize;
+        }
+        NodeId(x as u32)
+    }
+
+    /// Union-find flags of the representative.
+    pub fn flags(&self, n: NodeId) -> NodeFlags {
+        self.nodes[self.find(n).index()].flags
+    }
+
+    pub fn add_flags(&mut self, n: NodeId, f: NodeFlags) {
+        let r = self.find(n);
+        self.nodes[r.index()].flags.insert(f);
+    }
+
+    /// Unify two nodes (and, cascading, the targets of same-offset edges).
+    pub fn unify(&mut self, a: NodeId, b: NodeId) {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let (a, b) = (self.find(a), self.find(b));
+            if a == b {
+                continue;
+            }
+            // Merge b into a.
+            let b_data = std::mem::take(&mut self.nodes[b.index()]);
+            self.parent[b.index()] = a.0;
+            self.nodes[a.index()].flags.insert(b_data.flags);
+            for (off, t) in b_data.edges {
+                match self.nodes[a.index()].edges.get(&off).copied() {
+                    Some(existing) => work.push((existing, t)),
+                    None => {
+                        self.nodes[a.index()].edges.insert(off, t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The target node of field `offset` of `n`, created on demand.
+    pub fn edge_target(&mut self, n: NodeId, offset: u32) -> NodeId {
+        let r = self.find(n);
+        if let Some(t) = self.nodes[r.index()].edges.get(&offset).copied() {
+            return self.find(t);
+        }
+        let t = self.fresh(NodeFlags::empty());
+        // `fresh` may not move r (push only appends), so re-borrow.
+        self.nodes[r.index()].edges.insert(offset, t);
+        t
+    }
+
+    /// The target node of field `offset` of `n`, if it exists.
+    pub fn edge_target_opt(&self, n: NodeId, offset: u32) -> Option<NodeId> {
+        let r = self.find(n);
+        self.nodes[r.index()]
+            .edges
+            .get(&offset)
+            .map(|&t| self.find(t))
+    }
+
+    /// Outgoing edges of `n` as `(offset, representative target)`, sorted by
+    /// offset.
+    pub fn edges_of(&self, n: NodeId) -> Vec<(u32, NodeId)> {
+        let r = self.find(n);
+        self.nodes[r.index()]
+            .edges
+            .iter()
+            .map(|(&off, &t)| (off, self.find(t)))
+            .collect()
+    }
+
+    /// All representative node ids, ascending.
+    pub fn representatives(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.find(n) == n)
+            .collect()
+    }
+
+    /// Nodes with an edge *into* `target` (excluding `target` itself),
+    /// ascending — used for advisory-lock parent resolution.
+    pub fn predecessors(&self, target: NodeId) -> Vec<NodeId> {
+        let t = self.find(target);
+        self.representatives()
+            .into_iter()
+            .filter(|&n| n != t && self.edges_of(n).iter().any(|&(_, to)| to == t))
+            .collect()
+    }
+
+    /// Deep-copy every representative node of `other` into `self`,
+    /// returning a map `other-slot-id -> new id in self` (indexed by raw
+    /// slot, resolving non-representatives through `other`'s union-find).
+    pub fn import(&mut self, other: &DsGraph) -> Vec<NodeId> {
+        let reps = other.representatives();
+        let mut rep_map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        for &r in &reps {
+            let n = self.fresh(other.nodes[r.index()].flags);
+            rep_map.insert(r, n);
+        }
+        for &r in &reps {
+            let new_src = rep_map[&r];
+            for (off, t) in other.edges_of(r) {
+                let new_t = rep_map[&t];
+                // The imported subgraph is fresh, so offsets cannot clash.
+                let sr = self.find(new_src);
+                self.nodes[sr.index()].edges.insert(off, new_t);
+            }
+        }
+        (0..other.n_slots() as u32)
+            .map(|i| rep_map[&other.find(NodeId(i))])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_and_find() {
+        let mut g = DsGraph::new();
+        let a = g.fresh(NodeFlags::HEAP);
+        let b = g.fresh(NodeFlags::empty());
+        assert_eq!(g.find(a), a);
+        assert_ne!(a, b);
+        assert_eq!(g.n_nodes(), 2);
+        assert!(g.flags(a).contains(NodeFlags::HEAP));
+    }
+
+    #[test]
+    fn unify_merges_flags_and_counts() {
+        let mut g = DsGraph::new();
+        let a = g.fresh(NodeFlags::HEAP);
+        let b = g.fresh(NodeFlags::PARAM);
+        g.unify(a, b);
+        assert_eq!(g.find(a), g.find(b));
+        assert_eq!(g.n_nodes(), 1);
+        let f = g.flags(a);
+        assert!(f.contains(NodeFlags::HEAP) && f.contains(NodeFlags::PARAM));
+    }
+
+    #[test]
+    fn unify_cascades_through_edges() {
+        let mut g = DsGraph::new();
+        let a = g.fresh(NodeFlags::empty());
+        let b = g.fresh(NodeFlags::empty());
+        let ta = g.edge_target(a, 3);
+        let tb = g.edge_target(b, 3);
+        assert_ne!(g.find(ta), g.find(tb));
+        g.unify(a, b);
+        // Same-offset edge targets must have been unified too.
+        assert_eq!(g.find(ta), g.find(tb));
+    }
+
+    #[test]
+    fn self_edge_from_recursive_traversal() {
+        // Model `n = n->next`: target of `next` unified with the node itself.
+        let mut g = DsGraph::new();
+        let n = g.fresh(NodeFlags::HEAP);
+        let t = g.edge_target(n, 1);
+        g.unify(n, t);
+        assert_eq!(g.find(n), g.find(t));
+        let edges = g.edges_of(n);
+        assert_eq!(edges, vec![(1, g.find(n))]); // self-edge
+    }
+
+    #[test]
+    fn edge_target_idempotent() {
+        let mut g = DsGraph::new();
+        let n = g.fresh(NodeFlags::empty());
+        let t1 = g.edge_target(n, 5);
+        let t2 = g.edge_target(n, 5);
+        assert_eq!(g.find(t1), g.find(t2));
+        assert_eq!(g.edge_target_opt(n, 5), Some(g.find(t1)));
+        assert_eq!(g.edge_target_opt(n, 6), None);
+    }
+
+    #[test]
+    fn predecessors_exclude_self() {
+        let mut g = DsGraph::new();
+        let head = g.fresh(NodeFlags::empty());
+        let list = g.edge_target(head, 0);
+        let next = g.edge_target(list, 1);
+        g.unify(list, next); // collapsed list with self-edge
+        let preds = g.predecessors(list);
+        assert_eq!(preds, vec![g.find(head)]);
+        assert!(g.predecessors(head).is_empty());
+    }
+
+    #[test]
+    fn import_preserves_structure() {
+        let mut g1 = DsGraph::new();
+        let a = g1.fresh(NodeFlags::HEAP);
+        let b = g1.edge_target(a, 2);
+        let c = g1.fresh(NodeFlags::PARAM);
+        g1.unify(b, c);
+
+        let mut g2 = DsGraph::new();
+        let existing = g2.fresh(NodeFlags::empty());
+        let map = g2.import(&g1);
+        assert_eq!(map.len(), g1.n_slots());
+        let na = map[a.index()];
+        let nb = map[b.index()];
+        assert_ne!(g2.find(na), g2.find(existing));
+        assert_eq!(g2.edge_target_opt(na, 2), Some(g2.find(nb)));
+        assert!(g2.flags(nb).contains(NodeFlags::PARAM));
+        // b and c were unified in g1, so they map to the same node in g2.
+        assert_eq!(g2.find(map[b.index()]), g2.find(map[c.index()]));
+    }
+
+    #[test]
+    fn array_field_constant_is_distinct() {
+        let mut g = DsGraph::new();
+        let n = g.fresh(NodeFlags::empty());
+        let elem = g.edge_target(n, ARRAY_FIELD);
+        let f0 = g.edge_target(n, 0);
+        assert_ne!(g.find(elem), g.find(f0));
+    }
+}

@@ -1,0 +1,39 @@
+//! # tm-dsa — Data Structure Analysis over `tm-ir`
+//!
+//! A reproduction of the parts of Lattner's Data Structure Analysis (DSA)
+//! that the Staggered Transactions compiler pass consumes (paper Section 3;
+//! Lattner's thesis \[15\] is used there "essentially as a black box"):
+//!
+//! * **DSNodes** — one abstract node per distinct pointer target; every
+//!   pointer-valued register links to a node, and all pointers linked to the
+//!   same node *may* alias the same data-structure instance.
+//! * **Field-sensitive edges** — if a pointer field at word offset `k` of
+//!   node `A` points to node `B`, the graph has an edge `A --k--> B`.
+//!   Array-style (indexed) accesses use the single pseudo-field
+//!   [`ARRAY_FIELD`], so all elements of an array share one target node,
+//!   matching DSA's treatment of arrays.
+//! * **Local stage** — one DSGraph per function, built by unification
+//!   (Steensgaard-style, iterated to a fixpoint): each allocation site is a
+//!   node; copies/pointer arithmetic unify; loading a field yields the
+//!   field's target node. Recursive traversals (`n = n->next`) naturally
+//!   collapse a whole linked structure into one cyclic node — which is
+//!   exactly the granularity the paper wants for coarse-grain advisory
+//!   locking of lists and trees.
+//! * **Bottom-up stage** — callee graphs are cloned into callers at call
+//!   sites, with formal-parameter and return nodes unified against actuals.
+//!   The paper uses the bottom-up (stage 2) result, not the top-down stage,
+//!   and so do we.
+//!
+//! The result, [`ModuleDsa`], maps every load/store instruction of every
+//! function — including, for each (atomic) caller, the instructions of its
+//! transitive callees expressed in the caller's node space — to its DSNode.
+//! `stagger-compiler` reads this to classify anchors and build unified
+//! anchor tables.
+
+pub mod bottom_up;
+pub mod graph;
+pub mod local;
+
+pub use bottom_up::{analyze_module, ModuleDsa};
+pub use graph::{DsGraph, NodeFlags, NodeId, ARRAY_FIELD};
+pub use local::{analyze_function, FuncDsa};

@@ -1,0 +1,413 @@
+//! Local (per-function) DSA stage.
+//!
+//! Flow-insensitive unification, iterated to a fixpoint over the function's
+//! instructions. Corresponds to stage (1) of the DSA pipeline described in
+//! paper Section 3.1: "a local stage creates a data structure node for each
+//! unique pointer target in a function, and links each pointer access to a
+//! DSNode".
+
+use crate::graph::{DsGraph, NodeFlags, NodeId, ARRAY_FIELD};
+use std::collections::HashMap;
+use tm_ir::{FuncId, Function, Inst, InstRef, Module, Reg};
+
+/// Per-function analysis result. After the bottom-up stage
+/// ([`crate::analyze_module`]), `inst_node` also covers the instructions of
+/// every transitively-called function, expressed in this function's graph.
+#[derive(Debug, Clone)]
+pub struct FuncDsa {
+    pub graph: DsGraph,
+    /// Node bound to each register (if the register ever holds a pointer).
+    pub reg_node: Vec<Option<NodeId>>,
+    /// DSNode of the *pointer operand* of each load/store.
+    pub inst_node: HashMap<InstRef, NodeId>,
+    /// Nodes of pointer-valued parameters (`None` for integer params).
+    pub param_node: Vec<Option<NodeId>>,
+    /// Node of the returned pointer, if the function returns one.
+    pub ret_node: Option<NodeId>,
+    /// Node bound to each call instruction's destination register, used by
+    /// the bottom-up stage to unify against the callee's return node.
+    pub call_dst_node: HashMap<InstRef, NodeId>,
+}
+
+impl FuncDsa {
+    /// Representative node of a memory access instruction.
+    pub fn node_of(&self, inst: InstRef) -> Option<NodeId> {
+        self.inst_node.get(&inst).map(|&n| self.graph.find(n))
+    }
+}
+
+struct LocalCtx<'m> {
+    func: &'m Function,
+    fid: FuncId,
+    dsa: FuncDsa,
+    alloc_site: HashMap<InstRef, NodeId>,
+    changed: bool,
+}
+
+impl LocalCtx<'_> {
+    fn node_of_reg(&self, r: Reg) -> Option<NodeId> {
+        self.dsa.reg_node[r.index()].map(|n| self.dsa.graph.find(n))
+    }
+
+    fn ensure_reg_node(&mut self, r: Reg) -> NodeId {
+        match self.dsa.reg_node[r.index()] {
+            Some(n) => self.dsa.graph.find(n),
+            None => {
+                let n = self.dsa.graph.fresh(NodeFlags::empty());
+                self.dsa.reg_node[r.index()] = Some(n);
+                self.changed = true;
+                n
+            }
+        }
+    }
+
+    fn unify(&mut self, a: NodeId, b: NodeId) {
+        if self.dsa.graph.find(a) != self.dsa.graph.find(b) {
+            self.dsa.graph.unify(a, b);
+            self.changed = true;
+        }
+    }
+
+    /// `dst` now (also) holds a pointer to `n`.
+    fn bind_reg(&mut self, dst: Reg, n: NodeId) {
+        match self.dsa.reg_node[dst.index()] {
+            Some(existing) => self.unify(existing, n),
+            None => {
+                self.dsa.reg_node[dst.index()] = Some(n);
+                self.changed = true;
+            }
+        }
+    }
+
+    fn edge_target(&mut self, n: NodeId, off: u32) -> NodeId {
+        let before = self.dsa.graph.n_slots();
+        let t = self.dsa.graph.edge_target(n, off);
+        if self.dsa.graph.n_slots() != before {
+            self.changed = true;
+        }
+        t
+    }
+
+    fn record_access(&mut self, iref: InstRef, base: Reg) -> NodeId {
+        let n = self.ensure_reg_node(base);
+        let prev = self.dsa.inst_node.insert(iref, n);
+        if prev.map(|p| self.dsa.graph.find(p)) != Some(self.dsa.graph.find(n)) {
+            self.changed = true;
+        }
+        n
+    }
+
+    fn visit(&mut self, iref: InstRef, inst: &Inst) {
+        match *inst {
+            Inst::Mov { dst, src } => {
+                if let Some(n) = self.node_of_reg(src) {
+                    self.bind_reg(dst, n);
+                } else if let Some(n) = self.node_of_reg(dst) {
+                    self.bind_reg(src, n);
+                }
+            }
+            Inst::Bin { op, dst, a, b } => {
+                // Pointer arithmetic keeps pointing into the same node.
+                use tm_ir::BinOp::{Add, Sub};
+                if matches!(op, Add | Sub) {
+                    if let Some(n) = self.node_of_reg(a) {
+                        self.bind_reg(dst, n);
+                    } else if op == Add {
+                        if let Some(n) = self.node_of_reg(b) {
+                            self.bind_reg(dst, n);
+                        }
+                    }
+                }
+            }
+            Inst::Gep { dst, base, .. } => {
+                let n = self.ensure_reg_node(base);
+                self.bind_reg(dst, n);
+            }
+            Inst::Load { dst, base, offset } => {
+                let n = self.record_access(iref, base);
+                let t = self.edge_target(n, offset);
+                self.bind_reg(dst, t);
+            }
+            Inst::LoadIdx { dst, base, .. } => {
+                let n = self.record_access(iref, base);
+                let t = self.edge_target(n, ARRAY_FIELD);
+                self.bind_reg(dst, t);
+            }
+            Inst::Store { src, base, offset } => {
+                let n = self.record_access(iref, base);
+                if let Some(sn) = self.node_of_reg(src) {
+                    let t = self.edge_target(n, offset);
+                    self.unify(t, sn);
+                }
+            }
+            Inst::StoreIdx { src, base, .. } => {
+                let n = self.record_access(iref, base);
+                if let Some(sn) = self.node_of_reg(src) {
+                    let t = self.edge_target(n, ARRAY_FIELD);
+                    self.unify(t, sn);
+                }
+            }
+            Inst::Alloc { dst, .. } => {
+                let n = match self.alloc_site.get(&iref).copied() {
+                    Some(n) => n,
+                    None => {
+                        let n = self.dsa.graph.fresh(NodeFlags::HEAP);
+                        self.alloc_site.insert(iref, n);
+                        self.changed = true;
+                        n
+                    }
+                };
+                self.bind_reg(dst, n);
+            }
+            Inst::Call { dst: Some(dst), .. } => {
+                // A placeholder node for the call result; the bottom-up
+                // stage unifies it with the callee's return node.
+                let n = match self.dsa.call_dst_node.get(&iref).copied() {
+                    Some(n) => n,
+                    None => {
+                        let n = self.dsa.graph.fresh(NodeFlags::empty());
+                        self.dsa.call_dst_node.insert(iref, n);
+                        self.changed = true;
+                        n
+                    }
+                };
+                self.bind_reg(dst, n);
+            }
+            Inst::Ret { val: Some(v) } => {
+                if let Some(n) = self.node_of_reg(v) {
+                    match self.dsa.ret_node {
+                        Some(r) => self.unify(r, n),
+                        None => {
+                            self.dsa.ret_node = Some(n);
+                            self.changed = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        let _ = self.fid; // silence unused in non-debug builds
+        let _ = self.func;
+    }
+}
+
+/// Run the local DSA stage on one function.
+pub fn analyze_function(module: &Module, fid: FuncId) -> FuncDsa {
+    let func = module.func(fid);
+    let mut ctx = LocalCtx {
+        func,
+        fid,
+        dsa: FuncDsa {
+            graph: DsGraph::new(),
+            reg_node: vec![None; func.n_regs as usize],
+            inst_node: HashMap::new(),
+            param_node: vec![None; func.n_params as usize],
+            ret_node: None,
+            call_dst_node: HashMap::new(),
+        },
+        alloc_site: HashMap::new(),
+        changed: false,
+    };
+    // Parameters get nodes eagerly: a pointer parameter's node must exist so
+    // the bottom-up stage can unify it with the caller's actual. Integer
+    // parameters acquire harmless leaf nodes.
+    for i in 0..func.n_params {
+        let n = ctx.dsa.graph.fresh(NodeFlags::PARAM);
+        ctx.dsa.reg_node[i as usize] = Some(n);
+        ctx.dsa.param_node[i as usize] = Some(n);
+    }
+    let mut iterations = 0;
+    loop {
+        ctx.changed = false;
+        for (bid, blk) in func.iter_blocks() {
+            for (idx, inst) in blk.insts.iter().enumerate() {
+                let iref = InstRef {
+                    func: fid,
+                    block: bid,
+                    idx: idx as u32,
+                };
+                ctx.visit(iref, inst);
+            }
+        }
+        iterations += 1;
+        assert!(
+            iterations < 100,
+            "local DSA failed to converge on {}",
+            func.name
+        );
+        if !ctx.changed {
+            break;
+        }
+    }
+    if let Some(r) = ctx.dsa.ret_node {
+        ctx.dsa.graph.add_flags(r, NodeFlags::RETURNED);
+    }
+    ctx.dsa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_ir::{FuncBuilder, FuncKind, Module};
+
+    fn analyze_one(b: FuncBuilder) -> (Module, FuncDsa) {
+        let mut m = Module::new();
+        let fid = m.add_function(b.finish());
+        let dsa = analyze_function(&m, fid);
+        (m, dsa)
+    }
+
+    fn iref(b: u32, i: u32) -> InstRef {
+        InstRef {
+            func: FuncId(0),
+            block: tm_ir::BlockId(b),
+            idx: i,
+        }
+    }
+
+    #[test]
+    fn distinct_allocations_distinct_nodes() {
+        let mut b = FuncBuilder::new("f", 0, FuncKind::Normal);
+        let p = b.alloc_const(4, false);
+        let q = b.alloc_const(4, false);
+        b.store_const(1, p, 0);
+        b.store_const(2, q, 0);
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        let np = d.reg_node[p.index()].map(|n| d.graph.find(n)).unwrap();
+        let nq = d.reg_node[q.index()].map(|n| d.graph.find(n)).unwrap();
+        assert_ne!(np, nq);
+        assert!(d.graph.flags(np).contains(NodeFlags::HEAP));
+    }
+
+    #[test]
+    fn loads_of_same_field_share_target() {
+        // q = p->f0; r = p->f0; q and r point to the same node.
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let q = b.load(p, 0);
+        let r = b.load(p, 0);
+        b.store_const(0, q, 1);
+        b.store_const(0, r, 1);
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        assert_eq!(
+            d.graph.find(d.reg_node[q.index()].unwrap()),
+            d.graph.find(d.reg_node[r.index()].unwrap())
+        );
+    }
+
+    #[test]
+    fn different_fields_distinct_targets() {
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let q = b.load(p, 0);
+        let r = b.load(p, 1);
+        b.store_const(0, q, 0);
+        b.store_const(0, r, 0);
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        assert_ne!(
+            d.graph.find(d.reg_node[q.index()].unwrap()),
+            d.graph.find(d.reg_node[r.index()].unwrap())
+        );
+    }
+
+    #[test]
+    fn list_traversal_collapses_to_cyclic_node() {
+        // node = list->head; while (node != 0) node = node->next;
+        let mut b = FuncBuilder::new("walk", 1, FuncKind::Normal);
+        let list = b.param(0);
+        let node = b.load(list, 0);
+        b.while_(
+            |b| b.nei(node, 0),
+            |b| {
+                let nx = b.load(node, 1);
+                b.assign(node, nx);
+            },
+        );
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        let n = d.graph.find(d.reg_node[node.index()].unwrap());
+        // Self edge through `next` (offset 1).
+        assert_eq!(d.graph.edge_target_opt(n, 1), Some(n));
+        // And the list-head node points at it via offset 0.
+        let ln = d.graph.find(d.reg_node[list.index()].unwrap());
+        assert_eq!(d.graph.edge_target_opt(ln, 0), Some(n));
+        assert_eq!(d.graph.predecessors(n), vec![ln]);
+    }
+
+    #[test]
+    fn inst_node_records_pointer_operand() {
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let _v = b.load(p, 2); // entry block, idx 0
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        let n = d.node_of(iref(0, 0)).unwrap();
+        assert_eq!(n, d.graph.find(d.reg_node[p.index()].unwrap()));
+    }
+
+    #[test]
+    fn indexed_accesses_share_array_field() {
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let (arr, i) = (b.param(0), b.param(1));
+        let a = b.load_idx(arr, i, 0);
+        let j = b.addi(i, 3);
+        let c = b.load_idx(arr, j, 0);
+        b.store_const(0, a, 0);
+        b.store_const(0, c, 0);
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        assert_eq!(
+            d.graph.find(d.reg_node[a.index()].unwrap()),
+            d.graph.find(d.reg_node[c.index()].unwrap())
+        );
+    }
+
+    #[test]
+    fn ret_node_flagged() {
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let q = b.load(p, 0);
+        b.store_const(7, q, 0); // makes q's node real
+        b.ret(Some(q));
+        let (_, d) = analyze_one(b);
+        let r = d.graph.find(d.ret_node.unwrap());
+        assert!(d.graph.flags(r).contains(NodeFlags::RETURNED));
+        assert_eq!(r, d.graph.find(d.reg_node[q.index()].unwrap()));
+    }
+
+    #[test]
+    fn store_links_pointer_field() {
+        // p->f1 = q; then r = p->f1 aliases q.
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let (p, q) = (b.param(0), b.param(1));
+        b.store_const(0, q, 0); // make q a pointer (used as base)
+        b.store(q, p, 1);
+        let r = b.load(p, 1);
+        b.store_const(0, r, 0);
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        assert_eq!(
+            d.graph.find(d.reg_node[q.index()].unwrap()),
+            d.graph.find(d.reg_node[r.index()].unwrap())
+        );
+    }
+
+    #[test]
+    fn phi_like_merge_unifies() {
+        // out = (c ? a : b); *out = 1  => a and b unify.
+        let mut b = FuncBuilder::new("f", 3, FuncKind::Normal);
+        let (c, a, bb) = (b.param(0), b.param(1), b.param(2));
+        let out = b.reg();
+        b.if_else(c, |x| x.assign(out, a), |x| x.assign(out, bb));
+        b.store_const(1, out, 0);
+        b.ret(None);
+        let (_, d) = analyze_one(b);
+        assert_eq!(
+            d.graph.find(d.reg_node[a.index()].unwrap()),
+            d.graph.find(d.reg_node[bb.index()].unwrap())
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the DSGraph union-find with edge merging.
+
+use proptest::prelude::*;
+use tm_dsa::{DsGraph, NodeFlags, NodeId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Fresh,
+    Unify(usize, usize),
+    Edge(usize, u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Op::Fresh),
+            (0usize..24, 0usize..24).prop_map(|(a, b)| Op::Unify(a, b)),
+            (0usize..24, 0u32..4).prop_map(|(n, f)| Op::Edge(n, f)),
+        ],
+        1..60,
+    )
+}
+
+fn apply(g: &mut DsGraph, ops: &[Op]) -> Vec<NodeId> {
+    let mut nodes = vec![g.fresh(NodeFlags::empty())];
+    for op in ops {
+        match op {
+            Op::Fresh => nodes.push(g.fresh(NodeFlags::empty())),
+            Op::Unify(a, b) => {
+                let (a, b) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
+                g.unify(a, b);
+            }
+            Op::Edge(n, f) => {
+                let n = nodes[n % nodes.len()];
+                let t = g.edge_target(n, *f);
+                nodes.push(t);
+            }
+        }
+    }
+    nodes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// find() is idempotent and produces a representative that find()s to
+    /// itself; unified nodes share a representative forever.
+    #[test]
+    fn find_is_canonical(ops in ops()) {
+        let mut g = DsGraph::new();
+        let nodes = apply(&mut g, &ops);
+        for &n in &nodes {
+            let r = g.find(n);
+            prop_assert_eq!(g.find(r), r, "representative is a fixpoint");
+        }
+    }
+
+    /// After unify(a, b), find(a) == find(b), and same-offset edge targets
+    /// of the merged node are themselves unified (cascade property).
+    #[test]
+    fn unify_merges_classes_and_edges(ops in ops(), fa in 0u32..4) {
+        let mut g = DsGraph::new();
+        let nodes = apply(&mut g, &ops);
+        let (a, b) = (nodes[0], *nodes.last().unwrap());
+        let ta = g.edge_target(a, fa);
+        let tb = g.edge_target(b, fa);
+        g.unify(a, b);
+        prop_assert_eq!(g.find(a), g.find(b));
+        prop_assert_eq!(g.find(ta), g.find(tb), "same-offset targets cascade");
+        // Edge lookup after merge agrees with both prior targets.
+        let t = g.edge_target_opt(a, fa).unwrap();
+        prop_assert_eq!(t, g.find(ta));
+    }
+
+    /// Representatives partition the slots: every slot finds to exactly one
+    /// representative, and representatives() lists each exactly once.
+    #[test]
+    fn representatives_partition(ops in ops()) {
+        let mut g = DsGraph::new();
+        apply(&mut g, &ops);
+        let reps = g.representatives();
+        let mut sorted = reps.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), reps.len());
+        for i in 0..g.n_slots() as u32 {
+            let r = g.find(NodeId(i));
+            prop_assert!(reps.contains(&r), "slot {} -> non-listed rep {}", i, r);
+        }
+        prop_assert_eq!(reps.len(), g.n_nodes());
+    }
+
+    /// Importing a graph preserves its quotient structure: unified slots
+    /// stay unified, distinct representatives stay distinct, edges carry
+    /// over.
+    #[test]
+    fn import_preserves_quotient(ops in ops()) {
+        let mut g1 = DsGraph::new();
+        apply(&mut g1, &ops);
+        let mut g2 = DsGraph::new();
+        let map = g2.import(&g1);
+        prop_assert_eq!(map.len(), g1.n_slots());
+        for i in 0..g1.n_slots() as u32 {
+            for j in 0..g1.n_slots() as u32 {
+                let same1 = g1.find(NodeId(i)) == g1.find(NodeId(j));
+                let same2 = g2.find(map[i as usize]) == g2.find(map[j as usize]);
+                prop_assert_eq!(same1, same2, "i={} j={}", i, j);
+            }
+        }
+        for r in g1.representatives() {
+            for (off, t) in g1.edges_of(r) {
+                prop_assert_eq!(
+                    g2.edge_target_opt(map[r.index()], off),
+                    Some(g2.find(map[t.index()]))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Textual disassembly of modules, for debugging and for golden tests.
+
+use crate::func::{FuncKind, Function, Module};
+use crate::inst::Inst;
+use std::fmt::Write as _;
+
+/// Render one instruction as assembly-like text.
+pub fn format_inst(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Const { dst, value } => format!("{dst} = const {value}"),
+        Inst::Mov { dst, src } => format!("{dst} = {src}"),
+        Inst::Bin { op, dst, a, b } => format!("{dst} = {op:?} {a}, {b}").to_lowercase(),
+        Inst::Cmp { op, dst, a, b } => format!("{dst} = cmp.{op:?} {a}, {b}").to_lowercase(),
+        Inst::Load { dst, base, offset } => format!("{dst} = load [{base} + {offset}]"),
+        Inst::Store { src, base, offset } => format!("store [{base} + {offset}], {src}"),
+        Inst::LoadIdx {
+            dst,
+            base,
+            index,
+            offset,
+        } => format!("{dst} = load [{base} + ({index} + {offset})*8]"),
+        Inst::StoreIdx {
+            src,
+            base,
+            index,
+            offset,
+        } => format!("store [{base} + ({index} + {offset})*8], {src}"),
+        Inst::Gep {
+            dst,
+            base,
+            index,
+            offset,
+        } => format!("{dst} = gep {base} + ({index} + {offset})*8"),
+        Inst::Alloc {
+            dst,
+            words,
+            line_align,
+        } => format!(
+            "{dst} = alloc {words} words{}",
+            if *line_align { ", line-aligned" } else { "" }
+        ),
+        Inst::Call { func, args, dst } => {
+            let name = &m.func(*func).name;
+            let args: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} = call {name}({})", args.join(", ")),
+                None => format!("call {name}({})", args.join(", ")),
+            }
+        }
+        Inst::Ret { val: Some(v) } => format!("ret {v}"),
+        Inst::Ret { val: None } => "ret".to_string(),
+        Inst::Br { target } => format!("br {target}"),
+        Inst::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => format!("br {cond} ? {then_b} : {else_b}"),
+        Inst::Compute { cycles } => format!("compute {cycles}"),
+        Inst::Rand { dst, bound } => format!("{dst} = rand {bound}"),
+        Inst::AlPoint {
+            anchor,
+            base,
+            index,
+            offset,
+        } => match index {
+            Some(i) => format!("ALPoint #{anchor} [{base} + ({i} + {offset})*8]"),
+            None => format!("ALPoint #{anchor} [{base} + {offset}]"),
+        },
+    }
+}
+
+/// Render a function as text.
+pub fn format_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let kind = match f.kind {
+        FuncKind::Normal => String::new(),
+        FuncKind::Atomic { ab_id } => format!(" atomic(ab={ab_id})"),
+    };
+    let _ = writeln!(out, "fn {}({} params){kind}:", f.name, f.n_params);
+    for (bid, blk) in f.iter_blocks() {
+        let _ = writeln!(out, "{bid}:");
+        for inst in &blk.insts {
+            let _ = writeln!(out, "    {}", format_inst(m, inst));
+        }
+    }
+    out
+}
+
+/// Render a whole module as text.
+pub fn format_module(m: &Module) -> String {
+    let mut out = String::new();
+    for (_, f) in m.iter_funcs() {
+        out.push_str(&format_function(m, f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::Module;
+
+    #[test]
+    fn disassembly_roundtrips_names() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("callee", 1, FuncKind::Normal);
+        let v = b.load(b.param(0), 2);
+        b.ret(Some(v));
+        let callee = m.add_function(b.finish());
+
+        let mut b = FuncBuilder::new("main_tx", 1, FuncKind::Atomic { ab_id: 3 });
+        let r = b.call(callee, &[b.param(0)]);
+        b.store(r, b.param(0), 0);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let text = format_module(&m);
+        assert!(text.contains("fn callee(1 params):"));
+        assert!(text.contains("fn main_tx(1 params) atomic(ab=3):"));
+        assert!(text.contains("r1 = load [r0 + 2]"));
+        assert!(text.contains("call callee(r0)"));
+        assert!(text.contains("store [r0 + 0]"));
+    }
+
+    #[test]
+    fn alpoint_rendering() {
+        use crate::ids::Reg;
+        let m = Module::new();
+        let s = format_inst(
+            &m,
+            &Inst::AlPoint {
+                anchor: 42,
+                base: Reg(1),
+                index: None,
+                offset: 3,
+            },
+        );
+        assert_eq!(s, "ALPoint #42 [r1 + 3]");
+    }
+}

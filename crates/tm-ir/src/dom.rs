@@ -1,0 +1,241 @@
+//! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Algorithm 1 of the paper classifies loads/stores as anchors during a
+//! depth-first traversal of the function's dominator tree, and the
+//! anchor/pioneer relation is "`m.inst` dominates `inst`" — both of which
+//! this module supports.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::ids::{BlockId, InstRef};
+
+/// Dominator tree of a function's reachable blocks.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`idom[entry] = entry`); `None`
+    /// for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    /// Children in the dominator tree, each list sorted by block index for
+    /// deterministic traversal.
+    pub children: Vec<Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute the dominator tree from a CFG.
+    pub fn build(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry.index()] = Some(f.entry);
+
+        let intersect = |idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId| {
+            // Walk up by RPO number until the fingers meet.
+            let num = |x: BlockId| cfg.rpo_index[x.index()].unwrap();
+            while a != b {
+                while num(a) > num(b) {
+                    a = idom[a.index()].unwrap();
+                }
+                while num(b) > num(a) {
+                    b = idom[b.index()].unwrap();
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor with a known idom.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if !cfg.is_reachable(p) || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cfg, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for &b in &cfg.rpo {
+            if b == f.entry {
+                continue;
+            }
+            if let Some(p) = idom[b.index()] {
+                children[p.index()].push(b);
+            }
+        }
+        for c in &mut children {
+            c.sort();
+        }
+        DomTree {
+            idom,
+            children,
+            entry: f.entry,
+        }
+    }
+
+    /// Does block `a` dominate block `b`? (Reflexive: `a` dominates itself.)
+    pub fn dominates_block(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Does instruction `a` dominate instruction `b`?
+    ///
+    /// Within a block, earlier instructions dominate later ones; an
+    /// instruction does *not* dominate itself here (matching Algorithm 1,
+    /// where a load can only be a non-anchor if a *different*, earlier
+    /// access dominates it).
+    pub fn dominates_inst(&self, a: InstRef, b: InstRef) -> bool {
+        debug_assert_eq!(a.func, b.func, "cross-function dominance query");
+        if a.block == b.block {
+            a.idx < b.idx
+        } else {
+            self.dominates_block(a.block, b.block)
+        }
+    }
+
+    /// Depth-first preorder traversal of the dominator tree starting at the
+    /// entry block.
+    pub fn dfs_preorder(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            // Push in reverse so children come out in ascending order.
+            for &c in self.children[b.index()].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::FuncKind;
+
+    /// Brute-force dominance: `a` dominates `b` iff removing `a` makes `b`
+    /// unreachable from entry.
+    fn dominates_bruteforce(f: &Function, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut visited = vec![false; f.blocks.len()];
+        let mut stack = vec![f.entry];
+        if f.entry == a {
+            return cfg.is_reachable(b);
+        }
+        visited[f.entry.index()] = true;
+        while let Some(x) = stack.pop() {
+            for &s in &cfg.succs[x.index()] {
+                if s != a && !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        cfg.is_reachable(b) && !visited[b.index()]
+    }
+
+    fn diamond_with_loop() -> Function {
+        let mut b = FuncBuilder::new("g", 1, FuncKind::Normal);
+        let n = b.param(0);
+        let i = b.const_(0);
+        b.while_(
+            |b| b.lt(i, n),
+            |b| {
+                let c = b.remi(i, 2);
+                b.if_else(c, |b| b.compute(1), |b| b.compute(2));
+                let nx = b.addi(i, 1);
+                b.assign(i, nx);
+            },
+        );
+        b.ret(Some(i));
+        b.finish()
+    }
+
+    #[test]
+    fn matches_bruteforce_on_loop_diamond() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::build(&f);
+        let dt = DomTree::build(&f, &cfg);
+        for (a, _) in f.iter_blocks() {
+            for (b, _) in f.iter_blocks() {
+                if cfg.is_reachable(a) && cfg.is_reachable(b) {
+                    assert_eq!(
+                        dt.dominates_block(a, b),
+                        dominates_bruteforce(&f, &cfg, a, b),
+                        "a={a} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::build(&f);
+        let dt = DomTree::build(&f, &cfg);
+        for &b in &cfg.rpo {
+            assert!(dt.dominates_block(f.entry, b));
+        }
+    }
+
+    #[test]
+    fn preorder_covers_reachable_blocks_once() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::build(&f);
+        let dt = DomTree::build(&f, &cfg);
+        let pre = dt.dfs_preorder();
+        assert_eq!(pre.len(), cfg.rpo.len());
+        let mut sorted = pre.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pre.len());
+        assert_eq!(pre[0], f.entry);
+    }
+
+    #[test]
+    fn inst_dominance_within_block() {
+        use crate::ids::{FuncId, InstRef};
+        let f = diamond_with_loop();
+        let cfg = Cfg::build(&f);
+        let dt = DomTree::build(&f, &cfg);
+        let a = InstRef {
+            func: FuncId(0),
+            block: f.entry,
+            idx: 0,
+        };
+        let b = InstRef {
+            func: FuncId(0),
+            block: f.entry,
+            idx: 1,
+        };
+        assert!(dt.dominates_inst(a, b));
+        assert!(!dt.dominates_inst(b, a));
+        assert!(!dt.dominates_inst(a, a)); // strict within a block
+    }
+}

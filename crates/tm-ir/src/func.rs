@@ -1,0 +1,269 @@
+//! Functions, basic blocks, and modules.
+
+use crate::ids::{BlockId, FuncId, InstRef, Reg};
+use crate::inst::Inst;
+use std::collections::HashMap;
+
+/// Kind of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncKind {
+    /// Ordinary function.
+    Normal,
+    /// An *atomic block*: calling this function executes its body as one
+    /// hardware transaction. `ab_id` is the source-level atomic-block id the
+    /// runtime keys its per-thread `ABContext` on (the paper assigns a
+    /// unique id to each source atomic block; see Section 5).
+    Atomic { ab_id: u32 },
+}
+
+/// One basic block: a straight-line list of instructions whose final
+/// instruction is a terminator.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub insts: Vec<Inst>,
+}
+
+impl Block {
+    /// The terminator instruction, if the block is complete.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+}
+
+/// A function: parameters arrive in registers `0..n_params`.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    pub kind: FuncKind,
+    pub n_params: u32,
+    /// Total number of virtual registers (params included).
+    pub n_regs: u32,
+    pub blocks: Vec<Block>,
+    pub entry: BlockId,
+}
+
+impl Function {
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Iterate `(BlockId, &Block)` in index order (the deterministic layout
+    /// order used for PC assignment).
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn n_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    pub fn is_atomic(&self) -> bool {
+        matches!(self.kind, FuncKind::Atomic { .. })
+    }
+}
+
+/// A whole program: an indexed set of functions plus a name table.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    pub funcs: Vec<Function>,
+    names: HashMap<String, FuncId>,
+}
+
+impl Module {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a function; its name must be unique within the module.
+    ///
+    /// # Panics
+    /// Panics if a function with the same name already exists.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        assert!(
+            self.names.insert(f.name.clone(), id).is_none(),
+            "duplicate function name {:?}",
+            f.name
+        );
+        self.funcs.push(f);
+        id
+    }
+
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Look up a function by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.names.get(name).copied()
+    }
+
+    /// Look up a function by name, panicking with a useful message if absent.
+    pub fn expect(&self, name: &str) -> FuncId {
+        self.lookup(name)
+            .unwrap_or_else(|| panic!("no function named {name:?} in module"))
+    }
+
+    /// Iterate `(FuncId, &Function)` in index order.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// All atomic (transactional) functions in the module.
+    pub fn atomic_funcs(&self) -> Vec<FuncId> {
+        self.iter_funcs()
+            .filter(|(_, f)| f.is_atomic())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Resolve an [`InstRef`] to the instruction it names.
+    pub fn inst(&self, r: InstRef) -> &Inst {
+        &self.func(r.func).block(r.block).insts[r.idx as usize]
+    }
+
+    /// The direct callees of a function (with duplicates removed, in first
+    /// appearance order).
+    pub fn callees(&self, f: FuncId) -> Vec<FuncId> {
+        let mut seen = Vec::new();
+        for (_, b) in self.func(f).iter_blocks() {
+            for inst in &b.insts {
+                if let Inst::Call { func, .. } = inst {
+                    if !seen.contains(func) {
+                        seen.push(*func);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All functions reachable from `roots` (including the roots), in a
+    /// deterministic preorder.
+    pub fn reachable_from(&self, roots: &[FuncId]) -> Vec<FuncId> {
+        let mut order = Vec::new();
+        let mut stack: Vec<FuncId> = roots.iter().rev().copied().collect();
+        while let Some(f) = stack.pop() {
+            if order.contains(&f) {
+                continue;
+            }
+            order.push(f);
+            for c in self.callees(f).into_iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// A fresh register in function `f`.
+    pub fn new_reg(&mut self, f: FuncId) -> Reg {
+        let func = self.func_mut(f);
+        let r = Reg(func.n_regs);
+        func.n_regs += 1;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn leaf(name: &str) -> Function {
+        Function {
+            name: name.to_string(),
+            kind: FuncKind::Normal,
+            n_params: 0,
+            n_regs: 0,
+            blocks: vec![Block {
+                insts: vec![Inst::Ret { val: None }],
+            }],
+            entry: BlockId(0),
+        }
+    }
+
+    fn caller(name: &str, callees: &[FuncId]) -> Function {
+        let insts: Vec<Inst> = callees
+            .iter()
+            .map(|&c| Inst::Call {
+                func: c,
+                args: vec![],
+                dst: None,
+            })
+            .chain(std::iter::once(Inst::Ret { val: None }))
+            .collect();
+        Function {
+            name: name.to_string(),
+            kind: FuncKind::Atomic { ab_id: 1 },
+            n_params: 0,
+            n_regs: 0,
+            blocks: vec![Block { insts }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = Module::new();
+        let a = m.add_function(leaf("a"));
+        assert_eq!(m.lookup("a"), Some(a));
+        assert_eq!(m.lookup("b"), None);
+        assert_eq!(m.expect("a"), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_name_panics() {
+        let mut m = Module::new();
+        m.add_function(leaf("a"));
+        m.add_function(leaf("a"));
+    }
+
+    #[test]
+    fn callees_dedup_in_order() {
+        let mut m = Module::new();
+        let a = m.add_function(leaf("a"));
+        let b = m.add_function(leaf("b"));
+        let c = m.add_function(caller("c", &[b, a, b]));
+        assert_eq!(m.callees(c), vec![b, a]);
+        assert!(m.func(c).is_atomic());
+        assert_eq!(m.atomic_funcs(), vec![c]);
+    }
+
+    #[test]
+    fn reachable_preorder() {
+        let mut m = Module::new();
+        let a = m.add_function(leaf("a"));
+        let b = m.add_function(caller("b", &[a]));
+        let c = m.add_function(caller("c", &[b, a]));
+        assert_eq!(m.reachable_from(&[c]), vec![c, b, a]);
+        // cycle tolerance: a->a is impossible here, but repeated roots dedup
+        assert_eq!(m.reachable_from(&[a, a]), vec![a]);
+    }
+
+    #[test]
+    fn new_reg_increments() {
+        let mut m = Module::new();
+        let a = m.add_function(leaf("a"));
+        let r0 = m.new_reg(a);
+        let r1 = m.new_reg(a);
+        assert_eq!(r0, Reg(0));
+        assert_eq!(r1, Reg(1));
+        assert_eq!(m.func(a).n_regs, 2);
+    }
+}

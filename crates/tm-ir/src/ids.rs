@@ -1,0 +1,95 @@
+//! Typed index newtypes used throughout the IR.
+//!
+//! All of these are plain `u32` indices into the owning container; the
+//! newtypes exist so that a block index can never be confused with a
+//! register or a function index.
+
+use std::fmt;
+
+/// Index of a function within a [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// A virtual register. Registers are *mutable* (the IR is not SSA) and are
+/// function-local. Registers `0..n_params` hold the incoming arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+/// A reference to a single instruction: function, block, and the index of
+/// the instruction within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstRef {
+    pub func: FuncId,
+    pub block: BlockId,
+    pub idx: u32,
+}
+
+impl FuncId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Reg {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for InstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.func, self.block, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId(3).to_string(), "@3");
+        assert_eq!(BlockId(7).to_string(), "bb7");
+        assert_eq!(Reg(11).to_string(), "r11");
+        let r = InstRef {
+            func: FuncId(1),
+            block: BlockId(2),
+            idx: 4,
+        };
+        assert_eq!(r.to_string(), "@1:bb2:4");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(Reg(0) < Reg(1));
+    }
+}

@@ -1,0 +1,338 @@
+//! Module/function well-formedness checks.
+//!
+//! Run after authoring and again after instrumentation: the compiler pass
+//! must leave the module executable.
+
+use crate::func::{FuncKind, Module};
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::Inst;
+use std::fmt;
+
+/// A verification failure, with enough context to find the offending
+/// instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    EmptyBlock { func: String, block: BlockId },
+    MissingTerminator { func: String, block: BlockId },
+    TerminatorMidBlock { func: String, block: BlockId, idx: usize },
+    BadBlockTarget { func: String, block: BlockId, target: BlockId },
+    BadRegister { func: String, block: BlockId, idx: usize, reg: Reg },
+    BadCallee { func: String, block: BlockId, callee: FuncId },
+    ArgCountMismatch {
+        func: String,
+        block: BlockId,
+        callee: String,
+        expected: u32,
+        got: usize,
+    },
+    NestedAtomicCall { func: String, callee: String },
+    BadEntry { func: String },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyBlock { func, block } => {
+                write!(f, "{func}: {block} is empty")
+            }
+            VerifyError::MissingTerminator { func, block } => {
+                write!(f, "{func}: {block} does not end in a terminator")
+            }
+            VerifyError::TerminatorMidBlock { func, block, idx } => {
+                write!(f, "{func}: {block} has a terminator at index {idx}, not at the end")
+            }
+            VerifyError::BadBlockTarget { func, block, target } => {
+                write!(f, "{func}: {block} branches to nonexistent {target}")
+            }
+            VerifyError::BadRegister { func, block, idx, reg } => {
+                write!(f, "{func}: {block}:{idx} references out-of-range {reg}")
+            }
+            VerifyError::BadCallee { func, block, callee } => {
+                write!(f, "{func}: {block} calls nonexistent function {callee}")
+            }
+            VerifyError::ArgCountMismatch {
+                func,
+                block,
+                callee,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{func}: {block} calls {callee} with {got} args, expected {expected}"
+            ),
+            VerifyError::NestedAtomicCall { func, callee } => write!(
+                f,
+                "atomic function {func} calls atomic function {callee}; nesting must be flattened"
+            ),
+            VerifyError::BadEntry { func } => write!(f, "{func}: entry block out of range"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a single function against the function table size `n_funcs`
+/// (callee indices must be in range; argument counts are checked by
+/// [`verify_module`], which has the callee signatures).
+pub fn verify_function(
+    f: &crate::func::Function,
+    n_funcs: usize,
+) -> Result<(), VerifyError> {
+    let name = &f.name;
+    if f.entry.index() >= f.blocks.len() {
+        return Err(VerifyError::BadEntry { func: name.clone() });
+    }
+    for (bid, blk) in f.iter_blocks() {
+        if blk.insts.is_empty() {
+            return Err(VerifyError::EmptyBlock {
+                func: name.clone(),
+                block: bid,
+            });
+        }
+        if blk.terminator().is_none() {
+            return Err(VerifyError::MissingTerminator {
+                func: name.clone(),
+                block: bid,
+            });
+        }
+        for (idx, inst) in blk.insts.iter().enumerate() {
+            if inst.is_terminator() && idx + 1 != blk.insts.len() {
+                return Err(VerifyError::TerminatorMidBlock {
+                    func: name.clone(),
+                    block: bid,
+                    idx,
+                });
+            }
+            // Register ranges.
+            for r in inst.uses().into_iter().chain(inst.def()) {
+                if r.index() >= f.n_regs as usize {
+                    return Err(VerifyError::BadRegister {
+                        func: name.clone(),
+                        block: bid,
+                        idx,
+                        reg: r,
+                    });
+                }
+            }
+            // Branch targets.
+            let targets: Vec<BlockId> = match inst {
+                Inst::Br { target } => vec![*target],
+                Inst::CondBr { then_b, else_b, .. } => vec![*then_b, *else_b],
+                _ => vec![],
+            };
+            for t in targets {
+                if t.index() >= f.blocks.len() {
+                    return Err(VerifyError::BadBlockTarget {
+                        func: name.clone(),
+                        block: bid,
+                        target: t,
+                    });
+                }
+            }
+            if let Inst::Call { func, .. } = inst {
+                if func.index() >= n_funcs {
+                    return Err(VerifyError::BadCallee {
+                        func: name.clone(),
+                        block: bid,
+                        callee: *func,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify every function of a module, plus the inter-procedural rules:
+/// call-site argument counts match callee arity, and atomic functions are
+/// not (transitively) called from atomic functions (the interpreter
+/// flattens nothing; the front end must).
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for (_, f) in m.iter_funcs() {
+        verify_function(f, m.funcs.len())?;
+    }
+    for (_, f) in m.iter_funcs() {
+        for (bid, blk) in f.iter_blocks() {
+            for inst in &blk.insts {
+                if let Inst::Call { func, args, .. } = inst {
+                    let callee = m.func(*func);
+                    if args.len() != callee.n_params as usize {
+                        return Err(VerifyError::ArgCountMismatch {
+                            func: f.name.clone(),
+                            block: bid,
+                            callee: callee.name.clone(),
+                            expected: callee.n_params,
+                            got: args.len(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // No atomic function may reach another atomic function.
+    for root in m.atomic_funcs() {
+        for reached in m.reachable_from(&m.callees(root)) {
+            if matches!(m.func(reached).kind, FuncKind::Atomic { .. }) {
+                return Err(VerifyError::NestedAtomicCall {
+                    func: m.func(root).name.clone(),
+                    callee: m.func(reached).name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::{Block, Function, Module};
+    use crate::ids::Reg;
+
+    fn ok_module() -> Module {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("leaf", 1, FuncKind::Normal);
+        let v = b.addi(b.param(0), 1);
+        b.ret(Some(v));
+        let leaf = m.add_function(b.finish());
+        let mut b = FuncBuilder::new("tx", 1, FuncKind::Atomic { ab_id: 0 });
+        let r = b.call(leaf, &[b.param(0)]);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn good_module_verifies() {
+        verify_module(&ok_module()).unwrap();
+    }
+
+    #[test]
+    fn detects_arg_count_mismatch() {
+        let mut m = ok_module();
+        let leaf = m.expect("leaf");
+        let mut b = FuncBuilder::new("bad", 0, FuncKind::Normal);
+        b.emit(Inst::Call {
+            func: leaf,
+            args: vec![],
+            dst: None,
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::ArgCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_nested_atomic() {
+        let mut m = ok_module();
+        let tx = m.expect("tx");
+        let mut b = FuncBuilder::new("outer", 1, FuncKind::Atomic { ab_id: 1 });
+        let r = b.call(tx, &[b.param(0)]);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::NestedAtomicCall { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_register() {
+        let f = Function {
+            name: "r".into(),
+            kind: FuncKind::Normal,
+            n_params: 0,
+            n_regs: 1,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Mov {
+                        dst: Reg(0),
+                        src: Reg(5),
+                    },
+                    Inst::Ret { val: None },
+                ],
+            }],
+            entry: BlockId(0),
+        };
+        assert!(matches!(
+            verify_function(&f, 1),
+            Err(VerifyError::BadRegister { reg: Reg(5), .. })
+        ));
+    }
+
+    #[test]
+    fn detects_missing_terminator_and_midblock_terminator() {
+        let f = Function {
+            name: "t".into(),
+            kind: FuncKind::Normal,
+            n_params: 0,
+            n_regs: 1,
+            blocks: vec![Block {
+                insts: vec![Inst::Const {
+                    dst: Reg(0),
+                    value: 1,
+                }],
+            }],
+            entry: BlockId(0),
+        };
+        assert!(matches!(
+            verify_function(&f, 1),
+            Err(VerifyError::MissingTerminator { .. })
+        ));
+
+        let f2 = Function {
+            name: "t2".into(),
+            kind: FuncKind::Normal,
+            n_params: 0,
+            n_regs: 1,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Ret { val: None },
+                    Inst::Const {
+                        dst: Reg(0),
+                        value: 1,
+                    },
+                    Inst::Ret { val: None },
+                ],
+            }],
+            entry: BlockId(0),
+        };
+        assert!(matches!(
+            verify_function(&f2, 1),
+            Err(VerifyError::TerminatorMidBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_branch_target() {
+        let f = Function {
+            name: "b".into(),
+            kind: FuncKind::Normal,
+            n_params: 0,
+            n_regs: 0,
+            blocks: vec![Block {
+                insts: vec![Inst::Br {
+                    target: BlockId(9),
+                }],
+            }],
+            entry: BlockId(0),
+        };
+        assert!(matches!(
+            verify_function(&f, 1),
+            Err(VerifyError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::EmptyBlock {
+            func: "f".into(),
+            block: BlockId(2),
+        };
+        assert_eq!(e.to_string(), "f: bb2 is empty");
+    }
+}

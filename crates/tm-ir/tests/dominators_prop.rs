@@ -1,0 +1,118 @@
+//! Property test: the iterative dominator-tree algorithm agrees with
+//! brute-force reachability-based dominance on random CFGs.
+
+use proptest::prelude::*;
+use tm_ir::{Block, BlockId, Cfg, DomTree, FuncKind, Function, Inst, Reg};
+
+/// Build a function whose CFG is given by an adjacency list (each block
+/// ends in Br/CondBr/Ret according to its successor count).
+fn function_from_edges(n: usize, succs: &[Vec<usize>]) -> Function {
+    let blocks = (0..n)
+        .map(|b| {
+            let insts = match succs[b].len() {
+                0 => vec![Inst::Ret { val: None }],
+                1 => vec![Inst::Br {
+                    target: BlockId(succs[b][0] as u32),
+                }],
+                _ => vec![
+                    Inst::Const {
+                        dst: Reg(0),
+                        value: 1,
+                    },
+                    Inst::CondBr {
+                        cond: Reg(0),
+                        then_b: BlockId(succs[b][0] as u32),
+                        else_b: BlockId(succs[b][1] as u32),
+                    },
+                ],
+            };
+            Block { insts }
+        })
+        .collect();
+    Function {
+        name: "rand".into(),
+        kind: FuncKind::Normal,
+        n_params: 0,
+        n_regs: 1,
+        blocks,
+        entry: BlockId(0),
+    }
+}
+
+/// Brute force: `a` dominates `b` iff removing `a` makes `b` unreachable.
+fn dominates_bruteforce(n: usize, succs: &[Vec<usize>], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    if a == 0 {
+        return true; // entry dominates everything reachable
+    }
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    while let Some(x) = stack.pop() {
+        for &s in &succs[x] {
+            if s != a && !visited[s] {
+                visited[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    !visited[b]
+}
+
+fn reachable(n: usize, succs: &[Vec<usize>]) -> Vec<bool> {
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    while let Some(x) = stack.pop() {
+        for &s in &succs[x] {
+            if !visited[s] {
+                visited[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    visited
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn dominator_tree_matches_bruteforce(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..25),
+    ) {
+        // Random graph over n nodes: up to 2 successors per node, taken in
+        // order from the random edge list.
+        let mut succs = vec![Vec::new(); n];
+        for (from, to) in edges {
+            let (from, to) = (from % n, to % n);
+            if succs[from].len() < 2 && !succs[from].contains(&to) {
+                succs[from].push(to);
+            }
+        }
+        let f = function_from_edges(n, &succs);
+        let cfg = Cfg::build(&f);
+        let dt = DomTree::build(&f, &cfg);
+        let reach = reachable(n, &succs);
+
+        for a in 0..n {
+            for b in 0..n {
+                if !reach[a] || !reach[b] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dt.dominates_block(BlockId(a as u32), BlockId(b as u32)),
+                    dominates_bruteforce(n, &succs, a, b),
+                    "a={} b={} succs={:?}", a, b, succs
+                );
+            }
+        }
+
+        // The dominator-tree DFS covers exactly the reachable blocks.
+        let pre = dt.dfs_preorder();
+        prop_assert_eq!(pre.len(), reach.iter().filter(|&&r| r).count());
+    }
+}

@@ -1,0 +1,89 @@
+//! One-call benchmark runner: compile, set up, execute, validate.
+
+use crate::Workload;
+use htm_sim::{Machine, MachineConfig};
+use stagger_compiler::{compile, CompileStats};
+use stagger_core::{Mode, RuntimeConfig};
+use tm_interp::{run_workload, RunOutcome, ThreadPlan};
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: &'static str,
+    pub mode: Mode,
+    pub n_threads: usize,
+    pub out: RunOutcome,
+    pub compile_stats: CompileStats,
+}
+
+impl BenchResult {
+    /// Simulated execution time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.out.sim.exec_cycles
+    }
+}
+
+/// Compile `w`, run it on `n_threads` simulated cores in `mode`, validate
+/// the workload invariants, and return all statistics.
+///
+/// # Panics
+/// Panics if the workload's post-run validation fails — a validation
+/// failure means the HTM or runtime broke serializability, which is never
+/// acceptable.
+pub fn run_benchmark(w: &dyn Workload, mode: Mode, n_threads: usize, seed: u64) -> BenchResult {
+    run_benchmark_cfg(
+        w,
+        seed,
+        MachineConfig::with_cores(n_threads),
+        RuntimeConfig::with_mode(mode),
+    )
+}
+
+/// Like [`run_benchmark`], with explicit machine and runtime configuration
+/// (used by ablation studies: lazy protocol, PC-tag width, lock timeouts,
+/// policy thresholds, ...).
+pub fn run_benchmark_cfg(
+    w: &dyn Workload,
+    seed: u64,
+    machine_cfg: MachineConfig,
+    rt_cfg: RuntimeConfig,
+) -> BenchResult {
+    let mode = rt_cfg.mode;
+    let n_threads = machine_cfg.n_cores;
+    let module = w.build_module();
+    let compiled = compile(&module);
+    let machine = Machine::new(machine_cfg);
+    let thread_args = w.setup(&machine, n_threads);
+    assert_eq!(thread_args.len(), n_threads);
+    let tm = compiled.module.expect("thread_main");
+    let plans: Vec<ThreadPlan> = thread_args
+        .iter()
+        .map(|args| ThreadPlan {
+            func: tm,
+            args: args.clone(),
+        })
+        .collect();
+    let out = run_workload(&machine, &compiled, &rt_cfg, &plans, seed);
+    if let Err(e) = w.validate(&machine, &thread_args, &out) {
+        panic!(
+            "{} [{} x{}]: invariant violated: {e}",
+            w.name(),
+            mode.name(),
+            n_threads
+        );
+    }
+    BenchResult {
+        name: w.name(),
+        mode,
+        n_threads,
+        out,
+        compile_stats: compiled.stats.clone(),
+    }
+}
+
+/// Speedup of `result` relative to a sequential (1-thread) run of the same
+/// workload in baseline HTM mode — the paper's "S" metric.
+pub fn speedup_vs_sequential(w: &dyn Workload, result: &BenchResult, seed: u64) -> f64 {
+    let seq = run_benchmark(w, Mode::Htm, 1, seed);
+    seq.cycles() as f64 / result.cycles() as f64
+}

@@ -1,0 +1,18 @@
+//! # staggered-tx — facade crate
+//!
+//! Re-exports the public API of the Staggered Transactions reproduction
+//! (SPAA 2015, Xiang & Scott, "Conflict Reduction in Hardware Transactions
+//! Using Advisory Locks"). See `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! The crates compose like the paper's toolchain:
+//! `tm_ir` (write the program) → `stagger_compiler` (insert ALPs) →
+//! `tm_interp` (execute on `htm_sim` with the `stagger_core` policy).
+
+pub use htm_sim;
+pub use stagger_compiler;
+pub use stagger_core;
+pub use tm_dsa;
+pub use tm_interp;
+pub use tm_ir;
+pub use workloads;

@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: every benchmark compiles, runs in every
+//! execution mode, and passes its own serializability validation (which
+//! `run_benchmark` enforces by panicking on violation).
+
+use stagger_core::Mode;
+use workloads::{all_workloads, run_benchmark};
+
+/// Tiny versions of all ten workloads.
+fn tiny_set() -> Vec<Box<dyn workloads::Workload>> {
+    use workloads::*;
+    vec![
+        Box::new(genome::Genome::tiny()),
+        Box::new(intruder::Intruder::tiny()),
+        Box::new(kmeans::Kmeans::tiny()),
+        Box::new(labyrinth::Labyrinth::tiny()),
+        Box::new(ssca2::Ssca2::tiny()),
+        Box::new(vacation::Vacation::tiny()),
+        Box::new(list::ListBench::tiny(60, 20)),
+        Box::new(tsp::Tsp::tiny()),
+        Box::new(memcached::Memcached::tiny()),
+    ]
+}
+
+#[test]
+fn all_workloads_validate_in_baseline_mode() {
+    for w in tiny_set() {
+        let r = run_benchmark(w.as_ref(), Mode::Htm, 4, 101);
+        assert!(
+            r.out.exec.committed_txns + r.out.exec.irrevocable_txns > 0,
+            "{} ran no transactions",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn all_workloads_validate_in_staggered_mode() {
+    for w in tiny_set() {
+        let r = run_benchmark(w.as_ref(), Mode::Staggered, 4, 103);
+        assert!(
+            r.out.exec.committed_txns + r.out.exec.irrevocable_txns > 0,
+            "{}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn all_workloads_validate_in_sw_and_addronly_modes() {
+    for w in tiny_set() {
+        run_benchmark(w.as_ref(), Mode::StaggeredSw, 2, 107);
+        run_benchmark(w.as_ref(), Mode::AddrOnly, 2, 109);
+    }
+}
+
+#[test]
+fn default_registry_has_ten_benchmarks_with_unique_names() {
+    let all = all_workloads();
+    assert_eq!(all.len(), 10);
+    let mut names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 10);
+}
+
+#[test]
+fn single_thread_equals_across_modes() {
+    // With one thread there is no contention: every mode must do exactly
+    // the same committed work.
+    let w = workloads::list::ListBench::tiny(80, 10);
+    let mut commit_counts = Vec::new();
+    for mode in Mode::ALL {
+        let r = run_benchmark(&w, mode, 1, 113);
+        commit_counts.push(r.out.exec.committed_txns + r.out.exec.irrevocable_txns);
+    }
+    assert!(
+        commit_counts.windows(2).all(|w| w[0] == w[1]),
+        "modes disagree single-threaded: {commit_counts:?}"
+    );
+}
+
+#[test]
+fn runs_are_reproducible_across_invocations() {
+    let w = workloads::tsp::Tsp::tiny();
+    let a = run_benchmark(&w, Mode::Staggered, 4, 127);
+    let b = run_benchmark(&w, Mode::Staggered, 4, 127);
+    assert_eq!(a.out.sim.exec_cycles, b.out.sim.exec_cycles);
+    assert_eq!(a.out.exec.insts, b.out.exec.insts);
+    assert_eq!(
+        a.out.sim.aggregate().conflict_aborts,
+        b.out.sim.aggregate().conflict_aborts
+    );
+    // And a different seed genuinely changes the run.
+    let c = run_benchmark(&w, Mode::Staggered, 4, 131);
+    assert_ne!(a.out.sim.exec_cycles, c.out.sim.exec_cycles);
+}
+
+#[test]
+fn thread_scaling_increases_throughput_when_uncontended() {
+    let w = workloads::ssca2::Ssca2::tiny();
+    let t1 = run_benchmark(&w, Mode::Htm, 1, 137);
+    let t4 = run_benchmark(&w, Mode::Htm, 4, 137);
+    let s = t1.cycles() as f64 / t4.cycles() as f64;
+    assert!(s > 2.0, "ssca2 must scale (got {s:.2}x at 4 threads)");
+}

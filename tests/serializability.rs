@@ -1,0 +1,134 @@
+//! Property-based serializability tests: random programs and op mixes must
+//! preserve their invariants in every execution mode.
+//!
+//! These drive the whole stack — builder → DSA → compiler pass →
+//! interpreter → HTM simulator → Staggered Transactions runtime — with
+//! randomized inputs, checking the one property that must never break:
+//! committed transactions are serializable.
+
+use proptest::prelude::*;
+use stagger_core::{Mode, RuntimeConfig};
+use tm_interp::{run_workload, ThreadPlan};
+use tm_ir::{FuncBuilder, FuncKind, Module};
+
+/// Build a module where each transaction adds a thread-specific constant to
+/// `n_slots` shared accumulators chosen pseudo-randomly.
+fn accumulator_module(n_slots: u64, adds_per_txn: u64) -> Module {
+    let mut m = Module::new();
+
+    // tx_add(slots, n_slots, delta, adds)
+    let mut b = FuncBuilder::new("tx_add", 4, FuncKind::Atomic { ab_id: 0 });
+    let (slots, n_slots_r, delta, adds) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let i = b.const_(0);
+    b.while_(
+        |b| b.lt(i, adds),
+        |b| {
+            let idx0 = b.rand(n_slots_r);
+            let eight = b.const_(8);
+            let idx = b.mul(idx0, eight); // one line per slot
+            let v = b.load_idx(slots, idx, 0);
+            b.compute(10);
+            let v2 = b.add(v, delta);
+            b.store_idx(v2, slots, idx, 0);
+            let nx = b.addi(i, 1);
+            b.assign(i, nx);
+        },
+    );
+    b.ret(None);
+    let tx = m.add_function(b.finish());
+
+    // thread_main(slots, n_slots, delta, adds, rounds) -> rounds
+    let mut b = FuncBuilder::new("thread_main", 5, FuncKind::Normal);
+    let (slots, n_slots_r, delta, adds, rounds) =
+        (b.param(0), b.param(1), b.param(2), b.param(3), b.param(4));
+    let i = b.const_(0);
+    b.while_(
+        |b| b.lt(i, rounds),
+        |b| {
+            b.call_void(tx, &[slots, n_slots_r, delta, adds]);
+            let nx = b.addi(i, 1);
+            b.assign(i, nx);
+        },
+    );
+    b.ret(Some(i));
+    m.add_function(b.finish());
+    let _ = n_slots;
+    let _ = adds_per_txn;
+    m
+}
+
+fn run_accumulator(
+    mode: Mode,
+    n_threads: usize,
+    n_slots: u64,
+    adds: u64,
+    rounds: u64,
+    seed: u64,
+) -> u64 {
+    let module = accumulator_module(n_slots, adds);
+    let compiled = stagger_compiler::compile(&module);
+    let machine = htm_sim::Machine::new(htm_sim::MachineConfig::small(n_threads));
+    let slots = machine.host_alloc(n_slots * 8, true);
+    let plans: Vec<ThreadPlan> = (0..n_threads)
+        .map(|t| ThreadPlan {
+            func: compiled.module.expect("thread_main"),
+            args: vec![slots, n_slots, t as u64 + 1, adds, rounds],
+        })
+        .collect();
+    let rt_cfg = RuntimeConfig::with_mode(mode);
+    run_workload(&machine, &compiled, &rt_cfg, &plans, seed);
+    (0..n_slots)
+        .map(|s| machine.host_load(slots + s * 64))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case simulates a full multicore run
+        .. ProptestConfig::default()
+    })]
+
+    /// The sum over all accumulators must equal the total of all deltas
+    /// applied, for any thread count / slot count / transaction size.
+    #[test]
+    fn accumulators_conserve_sum(
+        n_threads in 2usize..5,
+        n_slots in 1u64..6,
+        adds in 1u64..5,
+        rounds in 1u64..12,
+        seed in 0u64..1000,
+    ) {
+        let expected: u64 = (1..=n_threads as u64).sum::<u64>() * adds * rounds;
+        for mode in [Mode::Htm, Mode::Staggered] {
+            let total = run_accumulator(mode, n_threads, n_slots, adds, rounds, seed);
+            prop_assert_eq!(total, expected, "mode {}", mode.name());
+        }
+    }
+
+    /// The list workload's internal validation (sorted, unique, length
+    /// conservation) must hold for arbitrary operation mixes.
+    #[test]
+    fn list_invariants_hold_for_any_mix(
+        lookup_pct in 0u64..=100,
+        insert_slack in 0u64..=100,
+        seed in 0u64..500,
+    ) {
+        let insert_pct = (100 - lookup_pct) * insert_slack / 100;
+        let w = workloads::list::ListBench::tiny(lookup_pct, insert_pct);
+        // run_benchmark panics if validation fails.
+        workloads::run_benchmark(&w, Mode::Staggered, 3, seed);
+    }
+}
+
+#[test]
+fn accumulator_conserves_under_heavy_contention() {
+    // One slot, many adds: the worst case for lost updates.
+    let total = run_accumulator(Mode::Staggered, 4, 1, 4, 20, 9);
+    assert_eq!(total, (1 + 2 + 3 + 4) * 4 * 20);
+}
+
+#[test]
+fn accumulator_conserves_in_sw_mode() {
+    let total = run_accumulator(Mode::StaggeredSw, 4, 2, 3, 15, 11);
+    assert_eq!(total, (1 + 2 + 3 + 4) * 3 * 15);
+}
