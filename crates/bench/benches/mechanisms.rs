@@ -1,10 +1,14 @@
-//! Criterion microbenches for the mechanism costs the paper argues are
-//! negligible (Section 6.1): the ALPoint fast path, abort-history
-//! bookkeeping, policy activation, anchor-table lookups, advisory-lock
-//! operations, the compiler pass itself, and raw interpreter throughput.
+//! Microbenches for the mechanism costs the paper argues are negligible
+//! (Section 6.1): the ALPoint fast path, abort-history bookkeeping, policy
+//! activation, anchor-table lookups, advisory-lock operations, the
+//! compiler pass itself, and raw interpreter throughput.
+//!
+//! Plain `fn main` harness (no external bench framework): each case runs a
+//! calibrated number of iterations and prints mean wall time per iteration.
+//! Run with `cargo bench --bench mechanisms`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use htm_sim::{Machine, MachineConfig};
 use stagger_compiler::compile;
@@ -14,20 +18,34 @@ use stagger_core::{
 use tm_ir::CodeLayout;
 use workloads::Workload;
 
-fn bench_history(c: &mut Criterion) {
-    c.bench_function("history/append+counts", |b| {
-        let mut h = AbortHistory::new(8);
-        for i in 0..8u64 {
-            h.append(0x400 + i, 0x1000 + i * 64);
-        }
-        b.iter(|| {
-            h.append(black_box(0x404), black_box(0x1040));
-            black_box(h.count_pc(0x404) + h.count_addr(0x1040))
-        });
+/// Time `f` over `iters` iterations (after one warm-up call) and print the
+/// mean per-iteration wall time.
+fn time_case(label: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    if per.as_secs_f64() >= 1e-3 {
+        println!("{label:<44} {:>12.3} ms/iter", per.as_secs_f64() * 1e3);
+    } else {
+        println!("{label:<44} {:>12.0} ns/iter", per.as_secs_f64() * 1e9);
+    }
+}
+
+fn bench_history() {
+    let mut h = AbortHistory::new(8);
+    for i in 0..8u64 {
+        h.append(0x400 + i, 0x1000 + i * 64);
+    }
+    time_case("history/append+counts", 1_000_000, || {
+        h.append(black_box(0x404), black_box(0x1040));
+        black_box(h.count_pc(0x404) + h.count_addr(0x1040));
     });
 }
 
-fn bench_policy(c: &mut Criterion) {
+fn bench_policy() {
     let w = workloads::list::ListBench::lo();
     let module = w.build_module();
     let compiled = compile(&module);
@@ -39,110 +57,85 @@ fn bench_policy(c: &mut Criterion) {
         .map(|e| (e.anchor_id, e.pc))
         .unwrap();
     let cfg = PolicyConfig::default();
-    c.bench_function("policy/activate_alpoint", |b| {
-        b.iter_batched(
-            || ABContext::new(0, 8),
-            |mut ctx| {
-                for i in 0..8u64 {
-                    activate_alpoint(
-                        &cfg,
-                        table,
-                        &mut ctx,
-                        anchor.0,
-                        anchor.1,
-                        0x1000 + (i % 3) * 64,
-                        (i % 5) as u32,
-                    );
-                }
-                black_box(ctx.activation)
-            },
-            BatchSize::SmallInput,
-        );
+    time_case("policy/activate_alpoint", 100_000, || {
+        let mut ctx = ABContext::new(0, 8);
+        for i in 0..8u64 {
+            activate_alpoint(
+                &cfg,
+                table,
+                &mut ctx,
+                anchor.0,
+                anchor.1,
+                0x1000 + (i % 3) * 64,
+                (i % 5) as u32,
+            );
+        }
+        black_box(ctx.activation);
     });
 }
 
-fn bench_anchor_table(c: &mut Criterion) {
+fn bench_anchor_table() {
     let w = workloads::memcached::Memcached::default();
     let module = w.build_module();
     let compiled = compile(&module);
     let table = compiled.table(0);
     let pcs: Vec<u64> = table.entries.iter().map(|e| e.pc).collect();
-    c.bench_function("anchor_table/search_by_pc_tag", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % pcs.len();
-            black_box(table.search_by_pc_tag(CodeLayout::truncate_pc(pcs[i])))
-        });
+    let mut i = 0;
+    time_case("anchor_table/search_by_pc_tag", 1_000_000, || {
+        i = (i + 1) % pcs.len();
+        black_box(table.search_by_pc_tag(CodeLayout::truncate_pc(pcs[i])));
     });
 }
 
-fn bench_compile_pass(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler");
+fn bench_compile_pass() {
     for w in workloads::all_workloads() {
         // One representative small and one large module keep bench time sane.
         if w.name() != "list-lo" && w.name() != "memcached" {
             continue;
         }
         let module = w.build_module();
-        g.bench_function(format!("compile/{}", w.name()), |b| {
-            b.iter(|| black_box(compile(black_box(&module))));
+        time_case(&format!("compiler/compile/{}", w.name()), 200, || {
+            black_box(compile(black_box(&module)));
         });
     }
-    g.finish();
 }
 
-fn bench_locks(c: &mut Criterion) {
-    c.bench_function("locks/acquire_release_uncontended", |b| {
-        // Measure the simulated-machine path end to end (host wall time of
-        // a sequence of lock ops on one core).
-        b.iter_batched(
-            || Machine::new(MachineConfig::small(1)),
-            |machine| {
-                let cfg = RuntimeConfig::with_mode(Mode::Staggered);
-                let shared = SharedRt::new(&machine, &cfg);
-                machine.run(vec![Box::new(move |core: &mut htm_sim::Core| {
-                    for i in 0..100u64 {
-                        let w = shared
-                            .locks
-                            .acquire(core, 0x1000 + i * 64, 1000, 30)
-                            .unwrap();
-                        shared.locks.release(core, w);
-                    }
-                })]);
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_locks() {
+    // Measure the simulated-machine path end to end (host wall time of a
+    // sequence of lock ops on one core).
+    time_case("locks/acquire_release_uncontended", 200, || {
+        let machine = Machine::new(MachineConfig::small(1));
+        let cfg = RuntimeConfig::with_mode(Mode::Staggered);
+        let shared = SharedRt::new(&machine, &cfg);
+        machine.run(vec![Box::new(move |core: &mut htm_sim::Core| {
+            for i in 0..100u64 {
+                let w = shared
+                    .locks
+                    .acquire(core, 0x1000 + i * 64, 1000, 30)
+                    .unwrap();
+                shared.locks.release(core, w);
+            }
+        })]);
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     // Raw interpreter throughput: single-core counter loop.
-    c.bench_function("interp/single_thread_counter_1000_txns", |b| {
-        let w = workloads::ssca2::Ssca2 {
-            n_nodes: 64,
-            max_degree: 7,
-            total_ops: 1000,
-        };
-        b.iter(|| {
-            black_box(workloads::run_benchmark(
-                black_box(&w),
-                Mode::Htm,
-                1,
-                42,
-            ))
-        });
+    let w = workloads::ssca2::Ssca2 {
+        n_nodes: 64,
+        max_degree: 7,
+        total_ops: 1000,
+    };
+    time_case("interp/single_thread_counter_1000_txns", 20, || {
+        black_box(workloads::run_benchmark(black_box(&w), Mode::Htm, 1, 42));
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_history,
-        bench_policy,
-        bench_anchor_table,
-        bench_compile_pass,
-        bench_locks,
-        bench_interpreter
-);
-criterion_main!(benches);
+fn main() {
+    bench_history();
+    bench_policy();
+    bench_anchor_table();
+    bench_compile_pass();
+    bench_locks();
+    bench_interpreter();
+}

@@ -13,15 +13,35 @@
 //!    uncontended benchmark.
 //!
 //! Run with: `cargo run -p stagger-bench --release --bin ablations`
+//!
+//! Each workload is compiled once and shared across sections; each
+//! section's runs go through the parallel job runner.
 
 use htm_sim::{HtmProtocol, MachineConfig};
+use stagger_bench::{run_jobs, Opts, Report};
 use stagger_core::{Mode, RuntimeConfig};
-use workloads::runner::run_benchmark_cfg;
-use workloads::Workload;
+use workloads::PreparedWorkload;
 
 fn main() {
-    let opts = stagger_bench::Opts::from_args();
+    let opts = Opts::from_args();
+    let report = Report::new("ablations", &opts);
     let threads = opts.threads;
+
+    // Compile each distinct workload once, up front (sections share them).
+    let kmeans = workloads::kmeans::Kmeans::tiny();
+    let list = workloads::list::ListBench::tiny(60, 20);
+    let memcached = workloads::memcached::Memcached::tiny();
+    let ssca2 = workloads::ssca2::Ssca2::tiny();
+    let shared: [&dyn workloads::Workload; 4] = [&kmeans, &list, &memcached, &ssca2];
+    let prepared: Vec<PreparedWorkload> = run_jobs(
+        shared
+            .iter()
+            .map(|&w| move || PreparedWorkload::new(w))
+            .collect(),
+        opts.jobs,
+    );
+    let (p_kmeans, p_list, p_memcached, p_ssca2) =
+        (&prepared[0], &prepared[1], &prepared[2], &prepared[3]);
 
     // ---- 1. eager vs lazy ------------------------------------------------
     println!("== Ablation 1: conflict-resolution protocol (HTM vs Staggered, {threads} threads)\n");
@@ -29,70 +49,89 @@ fn main() {
         "{:<10} {:<7} | {:>10} {:>8} | {:>10} {:>8} | {:>7}",
         "benchmark", "proto", "HTM cyc", "abts/c", "Stag cyc", "abts/c", "abt cut"
     );
-    let set: Vec<Box<dyn Workload>> = vec![
-        Box::new(workloads::kmeans::Kmeans::tiny()),
-        Box::new(workloads::list::ListBench::tiny(60, 20)),
-        Box::new(workloads::memcached::Memcached::tiny()),
-    ];
-    for w in &set {
-        for proto in [HtmProtocol::Eager, HtmProtocol::Lazy] {
-            let mcfg = MachineConfig {
-                protocol: proto,
-                ..MachineConfig::with_cores(threads)
-            };
-            let base = run_benchmark_cfg(
-                w.as_ref(),
-                opts.seed,
-                mcfg.clone(),
-                RuntimeConfig::with_mode(Mode::Htm),
-            );
-            let stag = run_benchmark_cfg(
-                w.as_ref(),
-                opts.seed,
-                mcfg,
-                RuntimeConfig::with_mode(Mode::Staggered),
-            );
-            let b = base.out.sim.aborts_per_commit();
-            let s = stag.out.sim.aborts_per_commit();
-            let cut = if b > 0.0 { (1.0 - s / b) * 100.0 } else { 0.0 };
-            println!(
-                "{:<10} {:<7} | {:>10} {:>8.2} | {:>10} {:>8.2} | {:>6.0}%",
-                w.name(),
-                format!("{proto:?}"),
-                base.cycles(),
-                b,
-                stag.cycles(),
-                s,
-                cut
-            );
-        }
+    let set = [p_kmeans, p_list, p_memcached];
+    let cases: Vec<(&PreparedWorkload, HtmProtocol, Mode)> = set
+        .iter()
+        .flat_map(|&p| {
+            [HtmProtocol::Eager, HtmProtocol::Lazy]
+                .into_iter()
+                .flat_map(move |proto| {
+                    [Mode::Htm, Mode::Staggered].map(move |mode| (p, proto, mode))
+                })
+        })
+        .collect();
+    let runs = run_jobs(
+        cases
+            .iter()
+            .map(|&(p, proto, mode)| {
+                let report = &report;
+                move || {
+                    let mcfg = MachineConfig {
+                        protocol: proto,
+                        ..MachineConfig::with_cores(threads)
+                    };
+                    report.run_cfg(p, opts.seed, mcfg, RuntimeConfig::with_mode(mode))
+                }
+            })
+            .collect(),
+        opts.jobs,
+    );
+    for (case, pair) in cases.chunks(2).zip(runs.chunks(2)) {
+        let (p, proto) = (case[0].0, case[0].1);
+        let (base, stag) = (&pair[0], &pair[1]);
+        let b = base.out.sim.aborts_per_commit();
+        let s = stag.out.sim.aborts_per_commit();
+        let cut = if b > 0.0 { (1.0 - s / b) * 100.0 } else { 0.0 };
+        println!(
+            "{:<10} {:<7} | {:>10} {:>8.2} | {:>10} {:>8.2} | {:>6.0}%",
+            p.name(),
+            format!("{proto:?}"),
+            base.cycles(),
+            b,
+            stag.cycles(),
+            s,
+            cut
+        );
     }
     println!("\nStaggered Transactions cut aborts under both protocols — the paper's");
     println!("protocol-independence claim (Section 1) holds.\n");
 
     // ---- 2. PC-tag width ---------------------------------------------------
     println!("== Ablation 2: conflicting-PC tag width vs identification accuracy\n");
-    println!("{:<10} {:>8} {:>12} {:>10}", "bits", "aliases", "accuracy", "abts cut");
-    let w = workloads::memcached::Memcached::tiny();
-    // Eager baseline for the abort-cut reference.
-    let base = run_benchmark_cfg(
-        &w,
-        opts.seed,
-        MachineConfig::with_cores(threads),
-        RuntimeConfig::with_mode(Mode::Htm),
+    println!(
+        "{:<10} {:>8} {:>12} {:>10}",
+        "bits", "aliases", "accuracy", "abts cut"
     );
-    let base_abts = base.out.sim.aborts_per_commit();
-    for bits in [2u32, 4, 6, 8, 12] {
-        let mcfg = MachineConfig {
-            pc_tag_bits: bits,
-            ..MachineConfig::with_cores(threads)
-        };
-        let stag = run_benchmark_cfg(
-            &w,
+    const BITS: [u32; 5] = [2, 4, 6, 8, 12];
+    // Job 0 is the eager baseline (abort-cut reference); jobs 1.. sweep
+    // the tag width under Staggered.
+    let mut jobs: Vec<Box<dyn FnOnce() -> workloads::BenchResult + Send>> = Vec::new();
+    jobs.push(Box::new(|| {
+        report.run_cfg(
+            p_memcached,
             opts.seed,
-            mcfg,
-            RuntimeConfig::with_mode(Mode::Staggered),
-        );
+            MachineConfig::with_cores(threads),
+            RuntimeConfig::with_mode(Mode::Htm),
+        )
+    }));
+    for bits in BITS {
+        let report = &report;
+        jobs.push(Box::new(move || {
+            let mcfg = MachineConfig {
+                pc_tag_bits: bits,
+                ..MachineConfig::with_cores(threads)
+            };
+            report.run_cfg(
+                p_memcached,
+                opts.seed,
+                mcfg,
+                RuntimeConfig::with_mode(Mode::Staggered),
+            )
+        }));
+    }
+    let runs = run_jobs(jobs, opts.jobs);
+    let base_abts = runs[0].out.sim.aborts_per_commit();
+    for (bits, stag) in BITS.iter().zip(&runs[1..]) {
         let cut = if base_abts > 0.0 {
             (1.0 - stag.out.sim.aborts_per_commit() / base_abts) * 100.0
         } else {
@@ -111,13 +150,27 @@ fn main() {
 
     // ---- 3. lock timeout --------------------------------------------------
     println!("== Ablation 3: advisory-lock acquire timeout\n");
-    println!("{:<12} {:>10} {:>10} {:>10}", "timeout", "cycles", "abts/c", "timeouts");
-    let w = workloads::list::ListBench::tiny(60, 20);
-    for timeout in [500u64, 2_000, 10_000, 50_000, 200_000] {
-        let mut rt = RuntimeConfig::with_mode(Mode::Staggered);
-        rt.lock_timeout = timeout;
-        rt.min_conflict_rate = 0.3;
-        let r = run_benchmark_cfg(&w, opts.seed, MachineConfig::with_cores(threads), rt);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "timeout", "cycles", "abts/c", "timeouts"
+    );
+    const TIMEOUTS: [u64; 5] = [500, 2_000, 10_000, 50_000, 200_000];
+    let runs = run_jobs(
+        TIMEOUTS
+            .map(|timeout| {
+                let report = &report;
+                move || {
+                    let mut rt = RuntimeConfig::with_mode(Mode::Staggered);
+                    rt.lock_timeout = timeout;
+                    rt.min_conflict_rate = 0.3;
+                    report.run_cfg(p_list, opts.seed, MachineConfig::with_cores(threads), rt)
+                }
+            })
+            .into_iter()
+            .collect(),
+        opts.jobs,
+    );
+    for (timeout, r) in TIMEOUTS.iter().zip(&runs) {
         println!(
             "{:<12} {:>10} {:>10.2} {:>10}",
             timeout,
@@ -131,37 +184,35 @@ fn main() {
 
     // ---- 4. thread scaling --------------------------------------------------
     println!("== Ablation 4: thread scaling (speedup over 1 thread)\n");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>7}", "benchmark", "1", "2", "4", "8", "16");
-    for (w, mode) in [
-        (
-            Box::new(workloads::ssca2::Ssca2::tiny()) as Box<dyn Workload>,
-            Mode::Htm,
-        ),
-        (
-            Box::new(workloads::kmeans::Kmeans::tiny()),
-            Mode::Htm,
-        ),
-        (
-            Box::new(workloads::kmeans::Kmeans::tiny()),
-            Mode::Staggered,
-        ),
-    ] {
-        let t1 = run_benchmark_cfg(
-            w.as_ref(),
-            opts.seed,
-            MachineConfig::with_cores(1),
-            RuntimeConfig::with_mode(mode),
-        );
-        let mut row = format!("{:<10}", format!("{}/{}", w.name(), mode.name()));
-        for t in [1usize, 2, 4, 8, 16] {
-            let r = run_benchmark_cfg(
-                w.as_ref(),
-                opts.seed,
-                MachineConfig::with_cores(t),
-                RuntimeConfig::with_mode(mode),
-            );
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>6} {:>7}",
+        "benchmark", "1", "2", "4", "8", "16"
+    );
+    const SCALE_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+    let curves: [(&PreparedWorkload, Mode); 3] = [
+        (p_ssca2, Mode::Htm),
+        (p_kmeans, Mode::Htm),
+        (p_kmeans, Mode::Staggered),
+    ];
+    let runs = run_jobs(
+        curves
+            .iter()
+            .flat_map(|&(p, mode)| {
+                SCALE_THREADS.map(|t| {
+                    let report = &report;
+                    move || report.run(p, mode, t, opts.seed)
+                })
+            })
+            .collect(),
+        opts.jobs,
+    );
+    for (&(p, mode), curve) in curves.iter().zip(runs.chunks(SCALE_THREADS.len())) {
+        let t1 = &curve[0];
+        let mut row = format!("{:<10}", format!("{}/{}", p.name(), mode.name()));
+        for r in curve {
             row += &format!(" {:>6.2}", t1.cycles() as f64 / r.cycles() as f64);
         }
         println!("{row}");
     }
+    report.finish();
 }

@@ -1,16 +1,41 @@
 //! Diagnostic dump: per-benchmark, per-mode runtime internals (not a paper
 //! exhibit; used to tune and debug the policy).
 
-use stagger_bench::{run, run_sequential, workload_set, Opts};
+use stagger_bench::{prepare_all, run_jobs, workload_set, Opts, Report};
 use stagger_core::Mode;
 
 fn main() {
     let opts = Opts::from_args();
-    for w in workload_set(opts.quick) {
-        let seq = run_sequential(w.as_ref(), opts.seed);
-        println!("== {} (seq {} cycles)", w.name(), seq.cycles());
-        for mode in Mode::ALL {
-            let r = run(w.as_ref(), mode, opts.threads, opts.seed);
+    let report = Report::new("diag", &opts);
+    let set = workload_set(opts.quick);
+    let prepared = prepare_all(&set, opts.jobs);
+
+    let seqs = run_jobs(
+        prepared
+            .iter()
+            .map(|p| {
+                let report = &report;
+                move || report.run_sequential(p, opts.seed)
+            })
+            .collect(),
+        opts.jobs,
+    );
+    let runs = run_jobs(
+        prepared
+            .iter()
+            .flat_map(|p| {
+                Mode::ALL.map(|mode| {
+                    let report = &report;
+                    move || report.run(p, mode, opts.threads, opts.seed)
+                })
+            })
+            .collect(),
+        opts.jobs,
+    );
+
+    for ((p, seq), row) in prepared.iter().zip(&seqs).zip(runs.chunks(Mode::ALL.len())) {
+        println!("== {} (seq {} cycles)", p.name(), seq.cycles());
+        for (mode, r) in Mode::ALL.iter().zip(row) {
             let agg = r.out.sim.aggregate();
             println!(
                 "  {:<13} cyc {:>12}  S {:>5.2}  commits {:>6}  irrev {:>4}  abts/c {:>5.2}  w/u {:>5.2}  locks {:>6} (t/o {:>4})  wait {:>10}  act p/c/t {:>5}/{:>5}/{:>5}  acc {:>5.2}",
@@ -60,4 +85,5 @@ fn main() {
             }
         }
     }
+    report.finish();
 }

@@ -1,11 +1,16 @@
 //! Figure 7 — performance of HTM / AddrOnly / Staggered+SW / Staggered at
 //! 16 threads, normalized to the eager-HTM baseline.
+//!
+//! Runs are submitted to the parallel job runner in two waves (references
+//! first, then the three instrumented modes against them); rows print in
+//! workload order regardless of `--jobs`.
 
-use stagger_bench::{harmonic_mean, measure, paper, run, run_sequential, workload_set, Opts};
+use stagger_bench::{harmonic_mean, paper, prepare_all, run_jobs, workload_set, Opts, Report};
 use stagger_core::Mode;
 
 fn main() {
     let opts = Opts::from_args();
+    let report = Report::new("fig7", &opts);
     println!(
         "Figure 7: speedup normalized to eager HTM, {} threads{}",
         opts.threads,
@@ -18,15 +23,46 @@ fn main() {
     println!("{header}");
     stagger_bench::rule(&header);
 
+    let set = workload_set(opts.quick);
+    let prepared = prepare_all(&set, opts.jobs);
+
+    // Wave 1: the sequential and baseline-HTM references for every
+    // workload (everything in wave 2 is normalized against these).
+    let refs = run_jobs(
+        prepared
+            .iter()
+            .map(|p| {
+                let report = &report;
+                move || {
+                    (
+                        report.run_sequential(p, opts.seed),
+                        report.run(p, Mode::Htm, opts.threads, opts.seed),
+                    )
+                }
+            })
+            .collect(),
+        opts.jobs,
+    );
+
+    // Wave 2: the three instrumented modes, one job per (workload, mode).
+    const MODES: [Mode; 3] = [Mode::AddrOnly, Mode::StaggeredSw, Mode::Staggered];
+    let measured = run_jobs(
+        prepared
+            .iter()
+            .zip(&refs)
+            .flat_map(|(p, (seq, htm))| {
+                MODES.map(|mode| {
+                    let report = &report;
+                    move || report.measure(p, mode, opts.threads, opts.seed, seq, Some(htm))
+                })
+            })
+            .collect(),
+        opts.jobs,
+    );
+
     let mut improvements = Vec::new();
-    for w in workload_set(opts.quick) {
-        let seq = run_sequential(w.as_ref(), opts.seed);
-        let htm = run(w.as_ref(), Mode::Htm, opts.threads, opts.seed);
-        let mut norm = Vec::new();
-        for mode in [Mode::AddrOnly, Mode::StaggeredSw, Mode::Staggered] {
-            let m = measure(w.as_ref(), mode, opts.threads, opts.seed, &seq, Some(&htm));
-            norm.push(m.speedup_vs_htm.unwrap());
-        }
+    for (w, row) in set.iter().zip(measured.chunks(MODES.len())) {
+        let norm: Vec<f64> = row.iter().map(|m| m.speedup_vs_htm.unwrap()).collect();
         let expectation = paper::FIG7
             .iter()
             .find(|r| r.name == w.name())
@@ -48,4 +84,5 @@ fn main() {
         "harmonic mean of Staggered speedups over HTM: {:.2}x (paper: 1.24x)",
         hm
     );
+    report.finish();
 }

@@ -2,11 +2,12 @@
 //! baseline HTM vs full Staggered Transactions, 16 threads; plus the
 //! paper's headline reductions.
 
-use stagger_bench::{measure, paper, run_sequential, workload_set, Opts};
+use stagger_bench::{paper, prepare_all, run_jobs, workload_set, Opts, Report};
 use stagger_core::Mode;
 
 fn main() {
     let opts = Opts::from_args();
+    let report = Report::new("fig8", &opts);
     println!(
         "Figure 8: contention and wasted work, {} threads{}",
         opts.threads,
@@ -19,20 +20,40 @@ fn main() {
     println!("{header}");
     stagger_bench::rule(&header);
 
+    let set = workload_set(opts.quick);
+    let prepared = prepare_all(&set, opts.jobs);
+
+    let seqs = run_jobs(
+        prepared
+            .iter()
+            .map(|p| {
+                let report = &report;
+                move || report.run_sequential(p, opts.seed)
+            })
+            .collect(),
+        opts.jobs,
+    );
+    // One job per (workload, mode): baseline HTM and full Staggered.
+    const MODES: [Mode; 2] = [Mode::Htm, Mode::Staggered];
+    let measured = run_jobs(
+        prepared
+            .iter()
+            .zip(&seqs)
+            .flat_map(|(p, seq)| {
+                MODES.map(|mode| {
+                    let report = &report;
+                    move || report.measure(p, mode, opts.threads, opts.seed, seq, None)
+                })
+            })
+            .collect(),
+        opts.jobs,
+    );
+
     let mut abort_cuts = Vec::new();
     let mut waste_cuts = Vec::new();
     let mut max_cut: (f64, &str) = (0.0, "");
-    for w in workload_set(opts.quick) {
-        let seq = run_sequential(w.as_ref(), opts.seed);
-        let base = measure(w.as_ref(), Mode::Htm, opts.threads, opts.seed, &seq, None);
-        let stag = measure(
-            w.as_ref(),
-            Mode::Staggered,
-            opts.threads,
-            opts.seed,
-            &seq,
-            None,
-        );
+    for (w, row) in set.iter().zip(measured.chunks(MODES.len())) {
+        let (base, stag) = (&row[0], &row[1]);
         let abort_cut = if base.aborts_per_commit > 0.0 {
             1.0 - stag.aborts_per_commit / base.aborts_per_commit
         } else {
@@ -81,4 +102,5 @@ fn main() {
         avg_waste * 100.0,
         paper::FIG8_AVG_WASTE_REDUCTION * 100.0
     );
+    report.finish();
 }

@@ -2,11 +2,12 @@
 //! HTM at 16 threads): speedup, % irrevocable, wasted/useful ratio, and
 //! the LA/LP locality of contention addresses and PCs.
 
-use stagger_bench::{measure, paper, run_sequential, workload_set, yn, Opts};
+use stagger_bench::{paper, prepare_all, run_jobs, workload_set, yn, Opts, Report};
 use stagger_core::Mode;
 
 fn main() {
     let opts = Opts::from_args();
+    let report = Report::new("table1", &opts);
     println!(
         "Table 1: baseline HTM contention, {} threads{} (paper values in parentheses)",
         opts.threads,
@@ -19,12 +20,39 @@ fn main() {
     println!("{header}");
     stagger_bench::rule(&header);
 
+    // Table 1 lists the paper's representative subset, in its order.
+    let set: Vec<_> = workload_set(opts.quick)
+        .into_iter()
+        .filter(|w| paper::TABLE1.iter().any(|r| r.name == w.name()))
+        .collect();
+    let prepared = prepare_all(&set, opts.jobs);
+
+    let seqs = run_jobs(
+        prepared
+            .iter()
+            .map(|p| {
+                let report = &report;
+                move || report.run_sequential(p, opts.seed)
+            })
+            .collect(),
+        opts.jobs,
+    );
+    let measured = run_jobs(
+        prepared
+            .iter()
+            .zip(&seqs)
+            .map(|(p, seq)| {
+                let report = &report;
+                move || report.measure(p, Mode::Htm, opts.threads, opts.seed, seq, None)
+            })
+            .collect(),
+        opts.jobs,
+    );
+
     for r in paper::TABLE1 {
-        let Some(w) = workload_set(opts.quick).into_iter().find(|w| w.name() == r.name) else {
+        let Some(m) = measured.iter().find(|m| m.name == r.name) else {
             continue;
         };
-        let seq = run_sequential(w.as_ref(), opts.seed);
-        let m = measure(w.as_ref(), Mode::Htm, opts.threads, opts.seed, &seq, None);
         println!(
             "{:<10} {:>5.1} ({:>4.1}) {:>5.1} ({:>3.0}%) {:>5.2} ({:>4.2}) {:>3} ({}) {:>3} ({})   {:<24}",
             r.name,
@@ -45,4 +73,5 @@ fn main() {
     println!("S: speedup over sequential.  %I: transactions forced irrevocable.");
     println!("W/U: wasted/useful transactional cycles.  LA/LP: locality (>=50% on one");
     println!("address / first-access PC) of contention aborts.");
+    report.finish();
 }

@@ -2,8 +2,14 @@
 //! `MachineConfig` defaults versus the paper's MARSSx86/ASF setup).
 
 use htm_sim::MachineConfig;
+use stagger_bench::{Opts, Report};
 
 fn main() {
+    // Table 2 is static (no simulator runs), but it accepts the common
+    // harness flags so every exhibit has a uniform command line; --json
+    // still writes a (zero-run) results/BENCH_table2.json.
+    let opts = Opts::from_args();
+    let report = Report::new("table2", &opts);
     let c = MachineConfig::default();
     println!("Table 2: HTM simulator configuration");
     println!("{}", "-".repeat(74));
@@ -71,5 +77,8 @@ fn main() {
     for (what, ours, theirs) in rows {
         println!("{what:<14} {ours}");
         println!("{:<14}   (paper: {theirs})", "");
+    }
+    if opts.json {
+        report.finish();
     }
 }

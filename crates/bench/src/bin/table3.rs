@@ -3,12 +3,12 @@
 //! committed transaction (1 thread), single-thread execution-time increase,
 //! and anchor-identification accuracy at 16 threads.
 
-use stagger_bench::{paper, run, workload_set, Opts};
-use stagger_compiler::compile;
+use stagger_bench::{paper, prepare_all, run_jobs, workload_set, Opts, Report};
 use stagger_core::Mode;
 
 fn main() {
     let opts = Opts::from_args();
+    let report = Report::new("table3", &opts);
     println!(
         "Table 3: instrumentation statistics{} (paper values in parentheses)",
         if opts.quick { " (quick)" } else { "" }
@@ -20,41 +20,58 @@ fn main() {
     println!("{header}");
     stagger_bench::rule(&header);
 
+    // The paper's Table 3 lists list-hi only (list-lo shares the code).
+    let set: Vec<_> = workload_set(opts.quick)
+        .into_iter()
+        .filter(|w| w.name() != "list-lo")
+        .collect();
+    let prepared = prepare_all(&set, opts.jobs);
+
+    // Three runs per workload: uninstrumented and Staggered at 1 thread
+    // (dynamic stats + execution increase), Staggered at full threads
+    // (accuracy needs real contention aborts).
+    let runs = run_jobs(
+        prepared
+            .iter()
+            .flat_map(|p| {
+                [
+                    (Mode::Htm, 1),
+                    (Mode::Staggered, 1),
+                    (Mode::Staggered, opts.threads),
+                ]
+                .map(|(mode, threads)| {
+                    let report = &report;
+                    move || report.run(p, mode, threads, opts.seed)
+                })
+            })
+            .collect(),
+        opts.jobs,
+    );
+
     let mut fractions = Vec::new();
-    for w in workload_set(opts.quick) {
-        // The paper's Table 3 lists list-hi only (list-lo shares the code).
-        if w.name() == "list-lo" {
-            continue;
-        }
-        let module = w.build_module();
-        let stats = compile(&module).stats;
+    for (p, row) in prepared.iter().zip(runs.chunks(3)) {
+        let stats = p.compile_stats();
         fractions.push(stats.anchor_fraction());
-
-        // Dynamic stats, 1 thread: uninstrumented baseline vs Staggered.
-        let base1 = run(w.as_ref(), Mode::Htm, 1, opts.seed);
-        let stag1 = run(w.as_ref(), Mode::Staggered, 1, opts.seed);
+        let (base1, stag1, stag16) = (&row[0], &row[1], &row[2]);
         let inc = stag1.cycles() as f64 / base1.cycles() as f64 - 1.0;
-
-        // Accuracy at full thread count (needs real contention aborts).
-        let stag16 = run(w.as_ref(), Mode::Staggered, opts.threads, opts.seed);
         let acc = stag16.out.rt.accuracy();
 
-        let p = paper::TABLE3.iter().find(|r| r.name == w.name());
+        let pr = paper::TABLE3.iter().find(|r| r.name == p.name());
         println!(
             "{:<10} {:>5} ({:>4}) {:>4} ({:>3}) | {:>6.1} ({:>6.0}) {:>5.1} ({:>4.1}) {:>6.2}% ({:>4.1}%) | {:>5.1}% ({:>5.1}%)",
-            w.name(),
+            p.name(),
             stats.loads_stores,
-            p.map_or(0, |r| r.loads_stores),
+            pr.map_or(0, |r| r.loads_stores),
             stats.anchors,
-            p.map_or(0, |r| r.anchors),
+            pr.map_or(0, |r| r.anchors),
             stag1.out.exec.uops_per_txn(),
-            p.map_or(0.0, |r| r.uops_per_txn),
+            pr.map_or(0.0, |r| r.uops_per_txn),
             stag1.out.exec.anchors_per_txn(),
-            p.map_or(0.0, |r| r.anchors_per_txn),
+            pr.map_or(0.0, |r| r.anchors_per_txn),
             inc * 100.0,
-            p.map_or(0.0, |r| r.exec_increase * 100.0),
+            pr.map_or(0.0, |r| r.exec_increase * 100.0),
             acc * 100.0,
-            p.map_or(0.0, |r| r.accuracy * 100.0),
+            pr.map_or(0.0, |r| r.accuracy * 100.0),
         );
     }
     let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
@@ -63,4 +80,5 @@ fn main() {
         "mean fraction of loads/stores instrumented as anchors: {:.0}% (paper: 13%)",
         mean * 100.0
     );
+    report.finish();
 }

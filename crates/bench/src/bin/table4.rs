@@ -1,12 +1,12 @@
 //! Table 4 — benchmark characteristics on the baseline eager HTM at 16
 //! threads: atomic blocks, %TM, speedup, aborts/commit, contention class.
 
-use stagger_bench::{contention_class, measure, paper, run_sequential, workload_set, Opts};
-use stagger_compiler::compile;
+use stagger_bench::{contention_class, paper, prepare_all, run_jobs, workload_set, Opts, Report};
 use stagger_core::Mode;
 
 fn main() {
     let opts = Opts::from_args();
+    let report = Report::new("table4", &opts);
     println!(
         "Table 4: benchmark characteristics, {} threads{} (paper values in parentheses)",
         opts.threads,
@@ -19,25 +19,48 @@ fn main() {
     println!("{header}");
     stagger_bench::rule(&header);
 
-    for w in workload_set(opts.quick) {
-        let module = w.build_module();
-        let abs = compile(&module).stats.atomic_blocks;
-        let seq = run_sequential(w.as_ref(), opts.seed);
-        let m = measure(w.as_ref(), Mode::Htm, opts.threads, opts.seed, &seq, None);
-        let p = paper::table4_ref(w.name());
+    let set = workload_set(opts.quick);
+    let prepared = prepare_all(&set, opts.jobs);
+
+    let seqs = run_jobs(
+        prepared
+            .iter()
+            .map(|p| {
+                let report = &report;
+                move || report.run_sequential(p, opts.seed)
+            })
+            .collect(),
+        opts.jobs,
+    );
+    let measured = run_jobs(
+        prepared
+            .iter()
+            .zip(&seqs)
+            .map(|(p, seq)| {
+                let report = &report;
+                move || report.measure(p, Mode::Htm, opts.threads, opts.seed, seq, None)
+            })
+            .collect(),
+        opts.jobs,
+    );
+
+    for (p, m) in prepared.iter().zip(&measured) {
+        let abs = p.compile_stats().atomic_blocks;
+        let pr = paper::table4_ref(p.name());
         println!(
             "{:<10} {:>3} ({:>2}) {:>6.0}% ({:>3.0}%) {:>5.1} ({:>4.1}) {:>6.2} ({:>5.2}) {:>6} ({})",
-            w.name(),
+            p.name(),
             abs,
-            p.map_or(0, |r| r.atomic_blocks),
+            pr.map_or(0, |r| r.atomic_blocks),
             m.tm_frac * 100.0,
-            p.map_or(0.0, |r| r.tm_pct),
+            pr.map_or(0.0, |r| r.tm_pct),
             m.speedup_vs_seq,
-            p.map_or(0.0, |r| r.speedup),
+            pr.map_or(0.0, |r| r.speedup),
             m.aborts_per_commit,
-            p.map_or(0.0, |r| r.aborts_per_commit),
+            pr.map_or(0.0, |r| r.aborts_per_commit),
             contention_class(m.aborts_per_commit),
-            p.map_or("", |r| r.contention),
+            pr.map_or("", |r| r.contention),
         );
     }
+    report.finish();
 }

@@ -1,0 +1,96 @@
+//! A tiny std-only parallel job runner for the exhibit harnesses.
+//!
+//! Each exhibit submits its simulator runs as closures; [`run_jobs`]
+//! executes them on `n_workers` OS threads and returns the results **in
+//! submission order**, so tables print identically at any `--jobs` level.
+//! Simulated results are unaffected by harness parallelism — every run is
+//! an independent (machine, workload) pair and the simulator itself is
+//! deterministic — so parallelism only changes host wall-clock time.
+//!
+//! Workers pull jobs from a shared atomic index (work stealing by
+//! oversubscription is unnecessary: jobs are long and similar-sized). A
+//! panicking job (e.g. a workload invariant violation) propagates out of
+//! the scope, aborting the harness loudly rather than printing a partial
+//! table.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `jobs` on up to `n_workers` threads; results come back in
+/// submission order. `n_workers <= 1` runs inline on the caller's thread
+/// (the deterministic baseline for `--jobs 1`).
+pub fn run_jobs<T, F>(jobs: Vec<F>, n_workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n_workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..n_workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let f = slots[i].lock().unwrap().take().expect("job taken once");
+                let r = f();
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order() {
+        for workers in [1, 2, 4, 7] {
+            let jobs: Vec<_> = (0..23u64).map(|i| move || i * i).collect();
+            let out = run_jobs(jobs, workers);
+            assert_eq!(out, (0..23u64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<fn() -> u32> = vec![];
+        assert!(run_jobs(none, 4).is_empty());
+        assert_eq!(run_jobs(vec![|| 9u32], 4), vec![9]);
+    }
+
+    #[test]
+    fn workers_actually_share_the_queue() {
+        // More jobs than workers: each job records which slot it ran in via
+        // a shared counter; all jobs must run exactly once.
+        let ran = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let ran = &ran;
+                move || ran.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let out = run_jobs(jobs, 4);
+        assert_eq!(out.len(), 64);
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        // Every ticket 0..64 handed out exactly once.
+        let mut tickets = out;
+        tickets.sort_unstable();
+        assert_eq!(tickets, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -11,55 +11,141 @@
 //! | `fig7` | Figure 7 — speedup of all four modes normalized to HTM |
 //! | `fig8` | Figure 8 — aborts/commit and wasted/useful cycles |
 //!
-//! Run with `cargo run -p stagger-bench --release --bin <name>`. Options:
-//! `--threads N` (default 16, as in the paper) and `--quick` (scaled-down
-//! workloads for smoke runs). Absolute numbers differ from the paper's
-//! MARSSx86 testbed; the *shape* — who wins, by roughly what factor — is
-//! the reproduction target, and each binary prints the paper's numbers
-//! alongside for comparison (see `EXPERIMENTS.md`).
+//! Run with `cargo run -p stagger-bench --release --bin <name>`. Options
+//! (see [`Opts`]): `--threads N`, `--quick`, `--seed N`, `--jobs N`,
+//! `--json`. Every exhibit compiles each workload once
+//! ([`PreparedWorkload`]) and submits its simulator runs to a parallel job
+//! runner ([`jobs::run_jobs`]); results and output order are deterministic
+//! at any `--jobs` level because each run is an independent deterministic
+//! simulation. Absolute numbers differ from the paper's MARSSx86 testbed;
+//! the *shape* — who wins, by roughly what factor — is the reproduction
+//! target, and each binary prints the paper's numbers alongside for
+//! comparison (see `EXPERIMENTS.md`).
 //!
-//! Criterion microbenches (`cargo bench`) cover the mechanism costs the
-//! paper argues are negligible: the inactive-ALPoint fast path, policy
-//! activation, advisory-lock acquire/release, anchor-table lookups, and
-//! compile-pass time.
+//! Microbenches (`cargo bench`) cover the mechanism costs the paper argues
+//! are negligible: the inactive-ALPoint fast path, policy activation,
+//! advisory-lock acquire/release, anchor-table lookups, and compile-pass
+//! time.
 
 use stagger_core::Mode;
-use workloads::{run_benchmark, BenchResult, Workload};
+use workloads::{BenchResult, PreparedWorkload, Workload};
 
+pub mod jobs;
 pub mod paper;
+pub mod report;
+
+pub use jobs::run_jobs;
+pub use report::Report;
+
+const USAGE: &str = "\
+options:
+  --threads N   simulated cores per run (default 16, as in the paper)
+  --quick       scaled-down workloads for smoke runs
+  --seed N      base workload seed (default 2015)
+  --jobs N      harness worker threads; simulator runs execute in parallel
+                but results and output order stay deterministic
+                (default: available CPUs)
+  --json        also dump per-run throughput to results/BENCH_<exhibit>.json
+  --help        show this message";
 
 /// Harness options parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct Opts {
+    /// Simulated cores per run.
     pub threads: usize,
+    /// Scaled-down workloads for smoke runs.
     pub quick: bool,
+    /// Base workload seed.
     pub seed: u64,
+    /// Harness worker threads for [`run_jobs`].
+    pub jobs: usize,
+    /// Dump `results/BENCH_<exhibit>.json` at the end of the run.
+    pub json: bool,
 }
 
 impl Opts {
-    /// Parse `--threads N`, `--quick`, `--seed N` from `std::env::args`.
-    pub fn from_args() -> Opts {
-        let mut o = Opts {
+    fn defaults() -> Opts {
+        Opts {
             threads: 16,
             quick: false,
             seed: 2015,
-        };
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            json: false,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn default_for_tests() -> Opts {
+        Opts::defaults()
+    }
+
+    /// Parse harness options from `std::env::args`. Prints usage and exits
+    /// with status 2 on an unknown flag or a missing/invalid value.
+    pub fn from_args() -> Opts {
         let args: Vec<String> = std::env::args().collect();
+        let program = args
+            .first()
+            .map(|p| {
+                p.rsplit(['/', '\\'])
+                    .next()
+                    .unwrap_or("exhibit")
+                    .to_string()
+            })
+            .unwrap_or_else(|| "exhibit".to_string());
+        let fail = |msg: &str| -> ! {
+            eprintln!("{program}: {msg}");
+            eprintln!("usage: {program} [--threads N] [--quick] [--seed N] [--jobs N] [--json]");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        };
+        let mut o = Opts::defaults();
         let mut i = 1;
         while i < args.len() {
-            match args[i].as_str() {
+            let flag = args[i].as_str();
+            let mut value = |name: &str| -> String {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => fail(&format!("{name} requires a value")),
+                }
+            };
+            match flag {
                 "--threads" => {
-                    i += 1;
-                    o.threads = args[i].parse().expect("--threads N");
+                    let v = value("--threads");
+                    o.threads = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --threads value '{v}'")));
+                }
+                "--seed" => {
+                    let v = value("--seed");
+                    o.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --seed value '{v}'")));
+                }
+                "--jobs" => {
+                    let v = value("--jobs");
+                    o.jobs = v
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")));
                 }
                 "--quick" => o.quick = true,
-                "--seed" => {
-                    i += 1;
-                    o.seed = args[i].parse().expect("--seed N");
+                "--json" => o.json = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: {program} [--threads N] [--quick] [--seed N] [--jobs N] [--json]"
+                    );
+                    println!("{USAGE}");
+                    std::process::exit(0);
                 }
-                other => panic!("unknown option {other} (supported: --threads N, --quick, --seed N)"),
+                other => fail(&format!("unknown option '{other}'")),
             }
             i += 1;
+        }
+        if o.threads == 0 {
+            fail("--threads must be at least 1");
+        }
+        if o.jobs == 0 {
+            fail("--jobs must be at least 1");
         }
         o
     }
@@ -85,14 +171,28 @@ pub fn workload_set(quick: bool) -> Vec<Box<dyn Workload>> {
     ]
 }
 
-/// Run one workload at `threads` in `mode`.
-pub fn run(w: &dyn Workload, mode: Mode, threads: usize, seed: u64) -> BenchResult {
-    run_benchmark(w, mode, threads, seed)
+/// Compile + flatten every workload, in parallel, each exactly once. The
+/// returned vector is index-aligned with `set`.
+pub fn prepare_all<'w>(
+    set: &'w [Box<dyn Workload>],
+    n_workers: usize,
+) -> Vec<PreparedWorkload<'w>> {
+    run_jobs(
+        set.iter()
+            .map(|w| move || PreparedWorkload::new(w.as_ref()))
+            .collect(),
+        n_workers,
+    )
+}
+
+/// Run one prepared workload at `threads` in `mode`.
+pub fn run(p: &PreparedWorkload, mode: Mode, threads: usize, seed: u64) -> BenchResult {
+    p.run(mode, threads, seed)
 }
 
 /// Sequential (1-thread, baseline-HTM) reference run.
-pub fn run_sequential(w: &dyn Workload, seed: u64) -> BenchResult {
-    run_benchmark(w, Mode::Htm, 1, seed)
+pub fn run_sequential(p: &PreparedWorkload, seed: u64) -> BenchResult {
+    p.run(Mode::Htm, 1, seed)
 }
 
 /// Measured numbers for one benchmark in one mode, plus its sequential
@@ -113,18 +213,18 @@ pub struct Measured {
     pub result: BenchResult,
 }
 
-/// Run one workload in `mode` and derive the paper's metrics, given the
-/// sequential reference and (optionally) the baseline HTM run at the same
-/// thread count.
+/// Run one prepared workload in `mode` and derive the paper's metrics,
+/// given the sequential reference and (optionally) the baseline HTM run at
+/// the same thread count.
 pub fn measure(
-    w: &dyn Workload,
+    p: &PreparedWorkload,
     mode: Mode,
     threads: usize,
     seed: u64,
     seq: &BenchResult,
     htm: Option<&BenchResult>,
 ) -> Measured {
-    let r = run(w, mode, threads, seed);
+    let r = run(p, mode, threads, seed);
     Measured {
         name: r.name,
         mode,
@@ -201,5 +301,61 @@ mod tests {
     fn quick_set_has_all_ten() {
         assert_eq!(workload_set(true).len(), 10);
         assert_eq!(workload_set(false).len(), 10);
+    }
+
+    /// The harness invariant the parallel runner must preserve: simulated
+    /// results (cycles, instructions, commits) are bit-identical whether
+    /// runs execute sequentially or on worker threads.
+    #[test]
+    fn parallel_harness_matches_sequential_results() {
+        let w = workloads::ssca2::Ssca2 {
+            n_nodes: 64,
+            max_degree: 7,
+            total_ops: 400,
+        };
+        let p = PreparedWorkload::new(&w);
+        let cases: Vec<(Mode, usize)> = vec![
+            (Mode::Htm, 1),
+            (Mode::Htm, 4),
+            (Mode::Staggered, 4),
+            (Mode::AddrOnly, 2),
+        ];
+        let sequential: Vec<(u64, u64, u64)> = cases
+            .iter()
+            .map(|&(m, t)| {
+                let r = p.run(m, t, 7);
+                (r.cycles(), r.sim_insts(), r.out.exec.committed_txns)
+            })
+            .collect();
+        let parallel = run_jobs(
+            cases
+                .iter()
+                .map(|&(m, t)| {
+                    let p = &p;
+                    move || {
+                        let r = p.run(m, t, 7);
+                        (r.cycles(), r.sim_insts(), r.out.exec.committed_txns)
+                    }
+                })
+                .collect(),
+            4,
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    /// Same seed, same prepared workload => identical runs (compile-once
+    /// caching must not perturb determinism).
+    #[test]
+    fn prepared_runs_are_deterministic() {
+        let w = workloads::list::ListBench::tiny(60, 20);
+        let p = PreparedWorkload::new(&w);
+        let a = p.run(Mode::Staggered, 4, 11);
+        let b = p.run(Mode::Staggered, 4, 11);
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.sim_insts(), b.sim_insts());
+        assert_eq!(
+            a.out.sim.aggregate().conflict_aborts,
+            b.out.sim.aggregate().conflict_aborts
+        );
     }
 }

@@ -13,12 +13,60 @@ pub struct Table1Ref {
 }
 
 pub const TABLE1: &[Table1Ref] = &[
-    Table1Ref { name: "list-hi",   speedup: 1.0, irrevocable_pct: 27.0, wasted_over_useful: 4.92, contention_source: "linked-list",            la: "N", lp: "Y" },
-    Table1Ref { name: "tsp",       speedup: 3.6, irrevocable_pct: 10.0, wasted_over_useful: 1.53, contention_source: "priority queue",         la: "Y", lp: "Y" },
-    Table1Ref { name: "memcached", speedup: 2.6, irrevocable_pct: 25.0, wasted_over_useful: 3.11, contention_source: "statistics information", la: "Y", lp: "Y" },
-    Table1Ref { name: "intruder",  speedup: 3.2, irrevocable_pct: 32.0, wasted_over_useful: 4.02, contention_source: "task queue",             la: "Y", lp: "Y" },
-    Table1Ref { name: "kmeans",    speedup: 4.6, irrevocable_pct: 35.0, wasted_over_useful: 3.57, contention_source: "arrays",                 la: "N", lp: "Y" },
-    Table1Ref { name: "vacation",  speedup: 9.7, irrevocable_pct: 1.0,  wasted_over_useful: 0.34, contention_source: "red-black trees",        la: "N", lp: "Y" },
+    Table1Ref {
+        name: "list-hi",
+        speedup: 1.0,
+        irrevocable_pct: 27.0,
+        wasted_over_useful: 4.92,
+        contention_source: "linked-list",
+        la: "N",
+        lp: "Y",
+    },
+    Table1Ref {
+        name: "tsp",
+        speedup: 3.6,
+        irrevocable_pct: 10.0,
+        wasted_over_useful: 1.53,
+        contention_source: "priority queue",
+        la: "Y",
+        lp: "Y",
+    },
+    Table1Ref {
+        name: "memcached",
+        speedup: 2.6,
+        irrevocable_pct: 25.0,
+        wasted_over_useful: 3.11,
+        contention_source: "statistics information",
+        la: "Y",
+        lp: "Y",
+    },
+    Table1Ref {
+        name: "intruder",
+        speedup: 3.2,
+        irrevocable_pct: 32.0,
+        wasted_over_useful: 4.02,
+        contention_source: "task queue",
+        la: "Y",
+        lp: "Y",
+    },
+    Table1Ref {
+        name: "kmeans",
+        speedup: 4.6,
+        irrevocable_pct: 35.0,
+        wasted_over_useful: 3.57,
+        contention_source: "arrays",
+        la: "N",
+        lp: "Y",
+    },
+    Table1Ref {
+        name: "vacation",
+        speedup: 9.7,
+        irrevocable_pct: 1.0,
+        wasted_over_useful: 0.34,
+        contention_source: "red-black trees",
+        la: "N",
+        lp: "Y",
+    },
 ];
 
 /// Table 3 rows (static instrumentation stats, single-thread dynamics,
@@ -36,15 +84,87 @@ pub struct Table3Ref {
 }
 
 pub const TABLE3: &[Table3Ref] = &[
-    Table3Ref { name: "genome",    loads_stores: 82,  anchors: 19, uops_per_txn: 957.0,   anchors_per_txn: 17.6, exec_increase: 0.01,  accuracy: 1.000 },
-    Table3Ref { name: "intruder",  loads_stores: 410, anchors: 56, uops_per_txn: 351.0,   anchors_per_txn: 8.5,  exec_increase: 0.01,  accuracy: 0.972 },
-    Table3Ref { name: "kmeans",    loads_stores: 13,  anchors: 6,  uops_per_txn: 261.0,   anchors_per_txn: 4.5,  exec_increase: 0.016, accuracy: 0.991 },
-    Table3Ref { name: "labyrinth", loads_stores: 418, anchors: 18, uops_per_txn: 16968.0, anchors_per_txn: 89.4, exec_increase: 0.01,  accuracy: 1.000 },
-    Table3Ref { name: "ssca2",     loads_stores: 33,  anchors: 7,  uops_per_txn: 86.0,    anchors_per_txn: 3.1,  exec_increase: 0.01,  accuracy: 0.979 },
-    Table3Ref { name: "vacation",  loads_stores: 442, anchors: 76, uops_per_txn: 4621.0,  anchors_per_txn: 63.9, exec_increase: 0.01,  accuracy: 0.953 },
-    Table3Ref { name: "list-hi",   loads_stores: 43,  anchors: 5,  uops_per_txn: 391.0,   anchors_per_txn: 32.9, exec_increase: 0.051, accuracy: 0.987 },
-    Table3Ref { name: "tsp",       loads_stores: 737, anchors: 75, uops_per_txn: 2348.0,  anchors_per_txn: 9.7,  exec_increase: 0.01,  accuracy: 0.970 },
-    Table3Ref { name: "memcached", loads_stores: 405, anchors: 54, uops_per_txn: 2520.0,  anchors_per_txn: 80.9, exec_increase: 0.01,  accuracy: 0.983 },
+    Table3Ref {
+        name: "genome",
+        loads_stores: 82,
+        anchors: 19,
+        uops_per_txn: 957.0,
+        anchors_per_txn: 17.6,
+        exec_increase: 0.01,
+        accuracy: 1.000,
+    },
+    Table3Ref {
+        name: "intruder",
+        loads_stores: 410,
+        anchors: 56,
+        uops_per_txn: 351.0,
+        anchors_per_txn: 8.5,
+        exec_increase: 0.01,
+        accuracy: 0.972,
+    },
+    Table3Ref {
+        name: "kmeans",
+        loads_stores: 13,
+        anchors: 6,
+        uops_per_txn: 261.0,
+        anchors_per_txn: 4.5,
+        exec_increase: 0.016,
+        accuracy: 0.991,
+    },
+    Table3Ref {
+        name: "labyrinth",
+        loads_stores: 418,
+        anchors: 18,
+        uops_per_txn: 16968.0,
+        anchors_per_txn: 89.4,
+        exec_increase: 0.01,
+        accuracy: 1.000,
+    },
+    Table3Ref {
+        name: "ssca2",
+        loads_stores: 33,
+        anchors: 7,
+        uops_per_txn: 86.0,
+        anchors_per_txn: 3.1,
+        exec_increase: 0.01,
+        accuracy: 0.979,
+    },
+    Table3Ref {
+        name: "vacation",
+        loads_stores: 442,
+        anchors: 76,
+        uops_per_txn: 4621.0,
+        anchors_per_txn: 63.9,
+        exec_increase: 0.01,
+        accuracy: 0.953,
+    },
+    Table3Ref {
+        name: "list-hi",
+        loads_stores: 43,
+        anchors: 5,
+        uops_per_txn: 391.0,
+        anchors_per_txn: 32.9,
+        exec_increase: 0.051,
+        accuracy: 0.987,
+    },
+    Table3Ref {
+        name: "tsp",
+        loads_stores: 737,
+        anchors: 75,
+        uops_per_txn: 2348.0,
+        anchors_per_txn: 9.7,
+        exec_increase: 0.01,
+        accuracy: 0.970,
+    },
+    Table3Ref {
+        name: "memcached",
+        loads_stores: 405,
+        anchors: 54,
+        uops_per_txn: 2520.0,
+        anchors_per_txn: 80.9,
+        exec_increase: 0.01,
+        accuracy: 0.983,
+    },
 ];
 
 /// Table 4 rows (benchmark characteristics on the baseline HTM).
@@ -58,16 +178,86 @@ pub struct Table4Ref {
 }
 
 pub const TABLE4: &[Table4Ref] = &[
-    Table4Ref { name: "genome",    atomic_blocks: 5,  tm_pct: 61.0, speedup: 6.0, aborts_per_commit: 0.25, contention: "low" },
-    Table4Ref { name: "intruder",  atomic_blocks: 3,  tm_pct: 98.0, speedup: 3.2, aborts_per_commit: 5.28, contention: "high" },
-    Table4Ref { name: "kmeans",    atomic_blocks: 3,  tm_pct: 42.0, speedup: 4.6, aborts_per_commit: 4.74, contention: "high" },
-    Table4Ref { name: "labyrinth", atomic_blocks: 3,  tm_pct: 91.0, speedup: 1.9, aborts_per_commit: 3.47, contention: "high" },
-    Table4Ref { name: "ssca2",     atomic_blocks: 10, tm_pct: 16.0, speedup: 4.8, aborts_per_commit: 0.02, contention: "low" },
-    Table4Ref { name: "vacation",  atomic_blocks: 3,  tm_pct: 87.0, speedup: 9.7, aborts_per_commit: 0.49, contention: "med" },
-    Table4Ref { name: "list-lo",   atomic_blocks: 4,  tm_pct: 86.0, speedup: 3.6, aborts_per_commit: 1.11, contention: "med" },
-    Table4Ref { name: "list-hi",   atomic_blocks: 4,  tm_pct: 83.0, speedup: 1.0, aborts_per_commit: 4.05, contention: "high" },
-    Table4Ref { name: "tsp",       atomic_blocks: 3,  tm_pct: 90.0, speedup: 3.6, aborts_per_commit: 1.74, contention: "med" },
-    Table4Ref { name: "memcached", atomic_blocks: 17, tm_pct: 85.0, speedup: 2.6, aborts_per_commit: 4.77, contention: "high" },
+    Table4Ref {
+        name: "genome",
+        atomic_blocks: 5,
+        tm_pct: 61.0,
+        speedup: 6.0,
+        aborts_per_commit: 0.25,
+        contention: "low",
+    },
+    Table4Ref {
+        name: "intruder",
+        atomic_blocks: 3,
+        tm_pct: 98.0,
+        speedup: 3.2,
+        aborts_per_commit: 5.28,
+        contention: "high",
+    },
+    Table4Ref {
+        name: "kmeans",
+        atomic_blocks: 3,
+        tm_pct: 42.0,
+        speedup: 4.6,
+        aborts_per_commit: 4.74,
+        contention: "high",
+    },
+    Table4Ref {
+        name: "labyrinth",
+        atomic_blocks: 3,
+        tm_pct: 91.0,
+        speedup: 1.9,
+        aborts_per_commit: 3.47,
+        contention: "high",
+    },
+    Table4Ref {
+        name: "ssca2",
+        atomic_blocks: 10,
+        tm_pct: 16.0,
+        speedup: 4.8,
+        aborts_per_commit: 0.02,
+        contention: "low",
+    },
+    Table4Ref {
+        name: "vacation",
+        atomic_blocks: 3,
+        tm_pct: 87.0,
+        speedup: 9.7,
+        aborts_per_commit: 0.49,
+        contention: "med",
+    },
+    Table4Ref {
+        name: "list-lo",
+        atomic_blocks: 4,
+        tm_pct: 86.0,
+        speedup: 3.6,
+        aborts_per_commit: 1.11,
+        contention: "med",
+    },
+    Table4Ref {
+        name: "list-hi",
+        atomic_blocks: 4,
+        tm_pct: 83.0,
+        speedup: 1.0,
+        aborts_per_commit: 4.05,
+        contention: "high",
+    },
+    Table4Ref {
+        name: "tsp",
+        atomic_blocks: 3,
+        tm_pct: 90.0,
+        speedup: 3.6,
+        aborts_per_commit: 1.74,
+        contention: "med",
+    },
+    Table4Ref {
+        name: "memcached",
+        atomic_blocks: 17,
+        tm_pct: 85.0,
+        speedup: 2.6,
+        aborts_per_commit: 4.77,
+        contention: "high",
+    },
 ];
 
 /// Qualitative Figure 7 expectations (speedup over baseline HTM at 16
@@ -82,16 +272,46 @@ pub struct Fig7Ref {
 }
 
 pub const FIG7: &[Fig7Ref] = &[
-    Fig7Ref { name: "genome",    band: "moderate (6-24%)" },
-    Fig7Ref { name: "intruder",  band: "substantial (>30%)" },
-    Fig7Ref { name: "kmeans",    band: "substantial (>30%)" },
-    Fig7Ref { name: "labyrinth", band: "moderate (6-24%)" },
-    Fig7Ref { name: "ssca2",     band: "no significant change" },
-    Fig7Ref { name: "vacation",  band: "no significant change" },
-    Fig7Ref { name: "list-lo",   band: "moderate (6-24%)" },
-    Fig7Ref { name: "list-hi",   band: "substantial (>30%)" },
-    Fig7Ref { name: "tsp",       band: "substantial (>30%)" },
-    Fig7Ref { name: "memcached", band: "substantial (>30%)" },
+    Fig7Ref {
+        name: "genome",
+        band: "moderate (6-24%)",
+    },
+    Fig7Ref {
+        name: "intruder",
+        band: "substantial (>30%)",
+    },
+    Fig7Ref {
+        name: "kmeans",
+        band: "substantial (>30%)",
+    },
+    Fig7Ref {
+        name: "labyrinth",
+        band: "moderate (6-24%)",
+    },
+    Fig7Ref {
+        name: "ssca2",
+        band: "no significant change",
+    },
+    Fig7Ref {
+        name: "vacation",
+        band: "no significant change",
+    },
+    Fig7Ref {
+        name: "list-lo",
+        band: "moderate (6-24%)",
+    },
+    Fig7Ref {
+        name: "list-hi",
+        band: "substantial (>30%)",
+    },
+    Fig7Ref {
+        name: "tsp",
+        band: "substantial (>30%)",
+    },
+    Fig7Ref {
+        name: "memcached",
+        band: "substantial (>30%)",
+    },
 ];
 
 /// Figure 8 headline numbers: Staggered Transactions "eliminate up to 89%

@@ -1,0 +1,273 @@
+//! Harness self-reporting: per-run host wall-clock and simulated
+//! instruction throughput, an end-of-exhibit summary line, and an optional
+//! machine-readable dump (`--json`) to `results/BENCH_<exhibit>.json`.
+//!
+//! The JSON is written by hand (no external dependencies — the build must
+//! work offline); the schema is flat and stable:
+//!
+//! ```json
+//! {
+//!   "exhibit": "fig7", "jobs": 4, "threads": 16, "quick": true,
+//!   "seed": 2015, "wall_secs": 12.3, "total_sim_insts": 45600000,
+//!   "insts_per_sec": 3700000.0,
+//!   "runs": [ { "workload": "genome", "mode": "htm", "threads": 16,
+//!               "sim_cycles": 1, "sim_insts": 2, "host_secs": 0.5,
+//!               "insts_per_sec": 4.0 }, ... ]
+//! }
+//! ```
+
+use crate::{Measured, Opts};
+use htm_sim::MachineConfig;
+use stagger_core::{Mode, RuntimeConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+use workloads::{BenchResult, PreparedWorkload};
+
+/// One simulator run, as the harness saw it.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub workload: &'static str,
+    pub mode: &'static str,
+    pub threads: usize,
+    pub sim_cycles: u64,
+    pub sim_insts: u64,
+    pub host_secs: f64,
+}
+
+impl RunRecord {
+    pub fn insts_per_sec(&self) -> f64 {
+        if self.host_secs > 0.0 {
+            self.sim_insts as f64 / self.host_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Collects every run of one exhibit. Shareable across harness workers
+/// (interior mutability); all run helpers record automatically.
+pub struct Report {
+    exhibit: String,
+    opts: Opts,
+    started: Instant,
+    records: Mutex<Vec<RunRecord>>,
+}
+
+impl Report {
+    pub fn new(exhibit: &str, opts: &Opts) -> Report {
+        Report {
+            exhibit: exhibit.to_string(),
+            opts: opts.clone(),
+            started: Instant::now(),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record a finished run (the run helpers below call this for you).
+    pub fn record(&self, r: &BenchResult) {
+        self.records.lock().unwrap().push(RunRecord {
+            workload: r.name,
+            mode: r.mode.name(),
+            threads: r.n_threads,
+            sim_cycles: r.cycles(),
+            sim_insts: r.sim_insts(),
+            host_secs: r.host_secs,
+        });
+    }
+
+    /// Run `p` at `threads` in `mode` and record it.
+    pub fn run(&self, p: &PreparedWorkload, mode: Mode, threads: usize, seed: u64) -> BenchResult {
+        let r = p.run(mode, threads, seed);
+        self.record(&r);
+        r
+    }
+
+    /// Run with explicit machine/runtime configuration (ablations).
+    pub fn run_cfg(
+        &self,
+        p: &PreparedWorkload,
+        seed: u64,
+        machine_cfg: MachineConfig,
+        rt_cfg: RuntimeConfig,
+    ) -> BenchResult {
+        let r = p.run_cfg(seed, machine_cfg, rt_cfg);
+        self.record(&r);
+        r
+    }
+
+    /// Sequential (1-thread, baseline-HTM) reference run.
+    pub fn run_sequential(&self, p: &PreparedWorkload, seed: u64) -> BenchResult {
+        self.run(p, Mode::Htm, 1, seed)
+    }
+
+    /// Run and derive the paper's metrics (see [`crate::measure`]).
+    pub fn measure(
+        &self,
+        p: &PreparedWorkload,
+        mode: Mode,
+        threads: usize,
+        seed: u64,
+        seq: &BenchResult,
+        htm: Option<&BenchResult>,
+    ) -> Measured {
+        let m = crate::measure(p, mode, threads, seed, seq, htm);
+        self.record(&m.result);
+        m
+    }
+
+    /// Render the machine-readable report. Runs are sorted by
+    /// (workload, mode, threads) so the dump is deterministic at any
+    /// `--jobs` level.
+    pub fn to_json(&self) -> String {
+        let mut recs = self.records.lock().unwrap().clone();
+        recs.sort_by(|a, b| (a.workload, a.mode, a.threads).cmp(&(b.workload, b.mode, b.threads)));
+        let wall = self.started.elapsed().as_secs_f64();
+        let total_insts: u64 = recs.iter().map(|r| r.sim_insts).sum();
+        let ips = if wall > 0.0 {
+            total_insts as f64 / wall
+        } else {
+            0.0
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"exhibit\": {},\n", json_str(&self.exhibit)));
+        s.push_str(&format!("  \"jobs\": {},\n", self.opts.jobs));
+        s.push_str(&format!("  \"threads\": {},\n", self.opts.threads));
+        s.push_str(&format!("  \"quick\": {},\n", self.opts.quick));
+        s.push_str(&format!("  \"seed\": {},\n", self.opts.seed));
+        s.push_str(&format!("  \"wall_secs\": {wall:.6},\n"));
+        s.push_str(&format!("  \"total_sim_insts\": {total_insts},\n"));
+        s.push_str(&format!("  \"insts_per_sec\": {ips:.1},\n"));
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in recs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"workload\": {}, \"mode\": {}, \"threads\": {}, \
+                 \"sim_cycles\": {}, \"sim_insts\": {}, \"host_secs\": {:.6}, \
+                 \"insts_per_sec\": {:.1} }}{}\n",
+                json_str(r.workload),
+                json_str(r.mode),
+                r.threads,
+                r.sim_cycles,
+                r.sim_insts,
+                r.host_secs,
+                r.insts_per_sec(),
+                if i + 1 < recs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Print the throughput summary line; with `--json`, also dump
+    /// `results/BENCH_<exhibit>.json`.
+    pub fn finish(&self) {
+        let recs = self.records.lock().unwrap();
+        let n = recs.len();
+        let total_insts: u64 = recs.iter().map(|r| r.sim_insts).sum();
+        // `.max(0.0)` normalizes the empty-sum -0.0 so a zero-run report
+        // prints "0.00" rather than "-0.00".
+        let run_secs: f64 = recs.iter().map(|r| r.host_secs).sum::<f64>().max(0.0);
+        drop(recs);
+        let wall = self.started.elapsed().as_secs_f64();
+        let ips = if wall > 0.0 {
+            total_insts as f64 / wall
+        } else {
+            0.0
+        };
+        println!();
+        println!(
+            "harness: {n} runs in {wall:.2} s wall ({run_secs:.2} s of simulation, \
+             jobs={}), {} sim insts, {}/s",
+            self.opts.jobs,
+            human(total_insts as f64),
+            human(ips)
+        );
+        if self.opts.json {
+            match self.write_json() {
+                Ok(path) => println!("harness: wrote {}", path.display()),
+                Err(e) => eprintln!("harness: could not write JSON report: {e}"),
+            }
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.exhibit));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// JSON string literal with minimal escaping (names here are ASCII).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// 12345678 -> "12.3M" — for the human summary line only.
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let opts = Opts::default_for_tests();
+        let rep = Report::new("unit\"test", &opts);
+        rep.records.lock().unwrap().push(RunRecord {
+            workload: "zeta",
+            mode: "htm",
+            threads: 4,
+            sim_cycles: 10,
+            sim_insts: 20,
+            host_secs: 2.0,
+        });
+        rep.records.lock().unwrap().push(RunRecord {
+            workload: "alpha",
+            mode: "htm",
+            threads: 4,
+            sim_cycles: 1,
+            sim_insts: 2,
+            host_secs: 0.5,
+        });
+        let j = rep.to_json();
+        assert!(j.contains("\"exhibit\": \"unit\\\"test\""));
+        let a = j.find("alpha").unwrap();
+        let z = j.find("zeta").unwrap();
+        assert!(a < z, "runs sorted by workload name");
+        assert!(j.contains("\"total_sim_insts\": 22"));
+        // insts_per_sec per run: 20 / 2.0 = 10.0
+        assert!(j.contains("\"insts_per_sec\": 10.0"));
+    }
+
+    #[test]
+    fn human_scales() {
+        assert_eq!(human(950.0), "950");
+        assert_eq!(human(12_345.0), "12.3k");
+        assert_eq!(human(12_345_678.0), "12.35M");
+        assert_eq!(human(2.5e9), "2.50G");
+    }
+}

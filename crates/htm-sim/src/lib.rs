@@ -35,6 +35,7 @@
 pub mod addr;
 pub mod cache;
 pub mod config;
+pub mod fx;
 pub mod machine;
 pub mod sim;
 pub mod stats;
@@ -42,6 +43,7 @@ pub mod trace;
 
 pub use addr::{line_addr, line_of, Addr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{HtmProtocol, MachineConfig};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use machine::{Core, Machine};
 pub use sim::{AbortCause, AbortInfo, TraceEvent, TraceKind, TxError};
 pub use stats::{CoreStats, SimStats};

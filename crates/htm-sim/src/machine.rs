@@ -14,12 +14,20 @@ use crate::addr::Addr;
 use crate::config::MachineConfig;
 use crate::sim::{AbortCause, SimState, TxError};
 use crate::stats::SimStats;
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 struct Shared {
     state: Mutex<SimState>,
     cvs: Vec<Condvar>,
+}
+
+impl Shared {
+    /// Lock the simulator state. A panic on one simulated core poisons the
+    /// mutex; recovering the guard keeps the remaining cores' teardown
+    /// deterministic (the panic itself still propagates through the scope).
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A simulated multicore machine with HTM.
@@ -83,7 +91,7 @@ impl Machine {
 
     /// Statistics snapshot (meaningful after `run` returns).
     pub fn stats(&self) -> SimStats {
-        let st = self.shared.state.lock();
+        let st = self.shared.lock();
         let cores = st
             .cores
             .iter()
@@ -100,23 +108,23 @@ impl Machine {
     /// Per-core begin/commit/abort event traces (empty unless
     /// [`MachineConfig::record_trace`] was set).
     pub fn trace(&self) -> Vec<Vec<crate::sim::TraceEvent>> {
-        let st = self.shared.state.lock();
+        let st = self.shared.lock();
         st.cores.iter().map(|c| c.trace.clone()).collect()
     }
 
     /// Host-side allocation for setup (no simulated cycles).
     pub fn host_alloc(&self, words: u64, line_align: bool) -> Addr {
-        self.shared.state.lock().host_alloc(words, line_align)
+        self.shared.lock().host_alloc(words, line_align)
     }
 
     /// Host-side memory read (setup/validation only).
     pub fn host_load(&self, addr: Addr) -> u64 {
-        self.shared.state.lock().host_load(addr)
+        self.shared.lock().host_load(addr)
     }
 
     /// Host-side memory write (setup only; unsound during `run`).
     pub fn host_store(&self, addr: Addr, val: u64) {
-        self.shared.state.lock().host_store(addr, val)
+        self.shared.lock().host_store(addr, val)
     }
 }
 
@@ -152,7 +160,7 @@ impl Core<'_> {
     /// returns `(result, latency)`.
     fn gate<R>(&mut self, f: impl FnOnce(&mut SimState, usize) -> (R, u64)) -> R {
         let tid = self.tid;
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         st.cores[tid].clock += self.pending;
         self.pending = 0;
         loop {
@@ -165,7 +173,9 @@ impl Core<'_> {
                         self.shared.cvs[n].notify_one();
                     }
                     st.cores[tid].waiting = true;
-                    self.shared.cvs[tid].wait(&mut st);
+                    st = self.shared.cvs[tid]
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
                     st.cores[tid].waiting = false;
                 }
                 None => unreachable!("calling core cannot be finished"),
@@ -184,7 +194,7 @@ impl Core<'_> {
 
     fn finish(&mut self) {
         let tid = self.tid;
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         st.cores[tid].clock += self.pending;
         self.pending = 0;
         st.cores[tid].finished = true;
@@ -226,13 +236,13 @@ impl Core<'_> {
     /// Is a transaction currently active (not yet observed-doomed)?
     pub fn tx_active(&mut self) -> bool {
         let tid = self.tid;
-        self.shared.state.lock().tx_active(tid)
+        self.shared.lock().tx_active(tid)
     }
 
     /// Atomic-block id of the active transaction, if any.
     pub fn tx_ab_id(&mut self) -> Option<u32> {
         let tid = self.tid;
-        self.shared.state.lock().tx_ab_id(tid)
+        self.shared.lock().tx_ab_id(tid)
     }
 
     // ----- nontransactional API --------------------------------------------
@@ -547,7 +557,10 @@ mod tests {
             Box::new(|c: &mut Core| c.compute(500)),
         ]);
         let st = m.stats();
-        assert_eq!(st.exec_cycles, st.cores.iter().map(|c| c.total_cycles).max().unwrap());
+        assert_eq!(
+            st.exec_cycles,
+            st.cores.iter().map(|c| c.total_cycles).max().unwrap()
+        );
         assert_eq!(st.exec_cycles, 500);
     }
 }

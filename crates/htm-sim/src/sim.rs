@@ -5,11 +5,11 @@
 //! by [`crate::machine::Core`] only when it is the calling core's logical
 //! turn, so the whole struct is free of internal synchronization.
 
+use crate::addr::WORDS_PER_LINE;
 use crate::addr::{line_of, word_index, Addr, LINE_BYTES, WORD_BYTES};
 use crate::cache::CacheArray;
 use crate::config::{HtmProtocol, MachineConfig};
 use crate::stats::CoreStats;
-use std::collections::{HashMap, HashSet};
 
 /// Why a transaction aborted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,29 +65,94 @@ impl TxError {
     }
 }
 
+/// One line in a transaction's speculative footprint: read/write
+/// membership, plus the full PC of the instruction that first accessed it
+/// (the hardware keeps only the low 12 bits; we keep the full value and
+/// truncate on delivery, retaining ground truth).
+#[derive(Debug, Clone, Copy)]
+struct TxLine {
+    line: u64,
+    written: bool,
+    first_pc: u64,
+}
+
 /// Active-transaction state of one core.
+///
+/// Transactional footprints are tiny (bounded by the L1's speculative
+/// capacity, typically a few dozen lines), so the read/write sets and the
+/// lazy write buffer live in sorted vectors probed by binary search — no
+/// hashing, no per-entry allocation, and the buffers are recycled across
+/// transactions on the same core ([`TxState::reset`]).
 #[derive(Debug, Default)]
 struct TxState {
     ab_id: u32,
     start_clock: u64,
-    read_lines: HashSet<u64>,
-    write_lines: HashSet<u64>,
-    /// line -> full PC of the instruction that first accessed it
-    /// speculatively (the hardware keeps only the low 12 bits; we keep the
-    /// full value and truncate on delivery, retaining ground truth).
-    first_pc: HashMap<u64, u64>,
+    /// Speculative lines touched, sorted by line index.
+    lines: Vec<TxLine>,
     /// Undo log: (addr, previous value), applied in reverse on abort
     /// (eager protocol only).
     undo: Vec<(Addr, u64)>,
-    /// Private write buffer, published at commit (lazy protocol only).
-    write_buffer: HashMap<Addr, u64>,
+    /// Private write buffer, sorted by address, published at commit (lazy
+    /// protocol only).
+    write_buffer: Vec<(Addr, u64)>,
     /// Lines already rolled back by a remote requester.
     rolled_back: bool,
 }
 
 impl TxState {
+    /// Clear for reuse by a fresh transaction, keeping the allocations.
+    fn reset(&mut self, ab_id: u32, start_clock: u64) {
+        self.ab_id = ab_id;
+        self.start_clock = start_clock;
+        self.lines.clear();
+        self.undo.clear();
+        self.write_buffer.clear();
+        self.rolled_back = false;
+    }
+
+    fn find(&self, line: u64) -> Result<usize, usize> {
+        self.lines.binary_search_by_key(&line, |e| e.line)
+    }
+
     fn spec_contains(&self, line: u64) -> bool {
-        self.read_lines.contains(&line) || self.write_lines.contains(&line)
+        self.find(line).is_ok()
+    }
+
+    /// Record a speculative touch of `line`; `first_pc` is set only by the
+    /// first access, matching the hardware's first-toucher PC tag.
+    fn touch_line(&mut self, line: u64, pc: u64, write: bool) {
+        match self.find(line) {
+            Ok(i) => self.lines[i].written |= write,
+            Err(i) => self.lines.insert(
+                i,
+                TxLine {
+                    line,
+                    written: write,
+                    first_pc: pc,
+                },
+            ),
+        }
+    }
+
+    /// Full first-access PC of `line` (0 when the line was never touched).
+    fn first_pc_of(&self, line: u64) -> u64 {
+        self.find(line).map_or(0, |i| self.lines[i].first_pc)
+    }
+
+    /// The lazily-buffered value of `addr`, if this transaction wrote it.
+    fn buffered(&self, addr: Addr) -> Option<u64> {
+        self.write_buffer
+            .binary_search_by_key(&addr, |e| e.0)
+            .ok()
+            .map(|i| self.write_buffer[i].1)
+    }
+
+    /// Insert-or-update a lazily-buffered store.
+    fn buffer_store(&mut self, addr: Addr, val: u64) {
+        match self.write_buffer.binary_search_by_key(&addr, |e| e.0) {
+            Ok(i) => self.write_buffer[i].1 = val,
+            Err(i) => self.write_buffer.insert(i, (addr, val)),
+        }
     }
 }
 
@@ -114,6 +179,9 @@ pub(crate) struct CoreState {
     l1: CacheArray,
     l2: CacheArray,
     tx: Option<TxState>,
+    /// Recycled transaction state: buffers from the last finished
+    /// transaction, reused by the next `tx_begin` to avoid reallocation.
+    spare_tx: Option<TxState>,
     doomed: Option<AbortInfo>,
     pub stats: CoreStats,
     arena_next: Addr,
@@ -131,6 +199,7 @@ struct Owners {
 }
 
 impl Owners {
+    #[cfg(test)]
     fn is_empty(&self) -> bool {
         self.readers == 0 && self.writers == 0
     }
@@ -142,7 +211,11 @@ pub(crate) struct SimState {
     mem: Vec<u64>,
     l3: CacheArray,
     pub cores: Vec<CoreState>,
-    owners: HashMap<u64, Owners>,
+    /// Speculative-ownership directory, indexed densely by line index
+    /// (`addr / LINE_BYTES`). One entry per line of simulated memory: the
+    /// conflict check on every transactional access is two array words,
+    /// not a hash probe.
+    owners: Vec<Owners>,
     heap_next: Addr,
 }
 
@@ -159,6 +232,7 @@ impl SimState {
                 l1: CacheArray::new(cfg.l1_sets, cfg.l1_ways),
                 l2: CacheArray::new(cfg.l2_sets, cfg.l2_ways),
                 tx: None,
+                spare_tx: None,
                 doomed: None,
                 stats: CoreStats::default(),
                 arena_next: 0,
@@ -170,7 +244,7 @@ impl SimState {
             mem: vec![0; cfg.mem_words],
             l3: CacheArray::new(cfg.l3_sets, cfg.l3_ways),
             cores,
-            owners: HashMap::new(),
+            owners: vec![Owners::default(); cfg.mem_words / WORDS_PER_LINE as usize],
             heap_next: HEAP_BASE,
             cfg,
         }
@@ -191,14 +265,38 @@ impl SimState {
 
     fn read_word(&self, addr: Addr) -> u64 {
         let i = word_index(addr);
-        assert!(i < self.mem.len(), "simulated address {addr:#x} out of range");
+        assert!(
+            i < self.mem.len(),
+            "simulated address {addr:#x} out of range"
+        );
         self.mem[i]
     }
 
     fn write_word(&mut self, addr: Addr, val: u64) {
         let i = word_index(addr);
-        assert!(i < self.mem.len(), "simulated address {addr:#x} out of range");
+        assert!(
+            i < self.mem.len(),
+            "simulated address {addr:#x} out of range"
+        );
         self.mem[i] = val;
+    }
+
+    /// Ownership-directory entry of `line` (panics on out-of-range
+    /// addresses, matching `read_word`/`write_word`).
+    fn owner_mut(&mut self, line: u64) -> &mut Owners {
+        let i = line as usize;
+        assert!(
+            i < self.owners.len(),
+            "simulated address {:#x} out of range",
+            line * LINE_BYTES
+        );
+        &mut self.owners[i]
+    }
+
+    /// True when no line has a speculative owner (test aid).
+    #[cfg(test)]
+    fn owners_empty(&self) -> bool {
+        self.owners.iter().all(|o| o.is_empty())
     }
 
     /// Charge cache latency for `tid` touching `line`. If `speculative`,
@@ -275,6 +373,7 @@ impl SimState {
             if let Some(tx) = core.tx.take() {
                 debug_assert!(tx.rolled_back, "doomed tx must have been rolled back");
                 core.stats.wasted_tx_cycles += core.clock.saturating_sub(tx.start_clock);
+                core.spare_tx = Some(tx);
             }
             core.stats.conflict_aborts += 1;
             self.record(tid, TraceKind::Abort);
@@ -299,9 +398,8 @@ impl SimState {
         let undo = std::mem::take(&mut tx.undo);
         tx.write_buffer.clear();
         let line = line_of(conf_addr);
-        let first = tx.first_pc.get(&line).copied().unwrap_or(0);
-        let read_lines = std::mem::take(&mut tx.read_lines);
-        let write_lines = std::mem::take(&mut tx.write_lines);
+        let first = tx.first_pc_of(line);
+        let lines = std::mem::take(&mut tx.lines);
         tx.rolled_back = true;
         core.doomed = Some(AbortInfo {
             cause: AbortCause::Conflict,
@@ -315,23 +413,27 @@ impl SimState {
         // The victim's cached copies of its speculatively-written lines are
         // stale after rollback: invalidate them, so the retry pays refill
         // latency (a real component of abort cost on eager HTM).
-        for &l in &write_lines {
-            self.cores[victim].l1.remove(l);
-            self.cores[victim].l2.remove(l);
+        for e in lines.iter().filter(|e| e.written) {
+            self.cores[victim].l1.remove(e.line);
+            self.cores[victim].l2.remove(e.line);
         }
-        self.release_ownership(victim, &read_lines, &write_lines);
+        self.release_ownership(victim, &lines);
+        // Hand the buffers back to the doomed transaction so the core's
+        // next attempt reuses their capacity.
+        if let Some(tx) = self.cores[victim].tx.as_mut() {
+            tx.undo = undo;
+            tx.undo.clear();
+            tx.lines = lines;
+            tx.lines.clear();
+        }
     }
 
-    fn release_ownership(&mut self, tid: usize, reads: &HashSet<u64>, writes: &HashSet<u64>) {
+    fn release_ownership(&mut self, tid: usize, lines: &[TxLine]) {
         let bit = 1u32 << tid;
-        for &l in reads.iter().chain(writes.iter()) {
-            if let Some(o) = self.owners.get_mut(&l) {
-                o.readers &= !bit;
-                o.writers &= !bit;
-                if o.is_empty() {
-                    self.owners.remove(&l);
-                }
-            }
+        for e in lines {
+            let o = &mut self.owners[e.line as usize];
+            o.readers &= !bit;
+            o.writers &= !bit;
         }
     }
 
@@ -339,7 +441,7 @@ impl SimState {
     /// conflicts with an access of kind `is_write` by `tid`.
     fn resolve_conflicts(&mut self, tid: usize, addr: Addr, is_write: bool) {
         let line = line_of(addr);
-        let Some(o) = self.owners.get(&line).copied() else {
+        let Some(o) = self.owners.get(line as usize).copied() else {
             return;
         };
         let mut mask = o.writers & !(1u32 << tid);
@@ -364,15 +466,16 @@ impl SimState {
     pub fn tx_begin(&mut self, tid: usize, ab_id: u32) -> u64 {
         self.record(tid, TraceKind::Begin(ab_id));
         let core = &mut self.cores[tid];
-        assert!(core.tx.is_none(), "nested hardware transaction on core {tid}");
+        assert!(
+            core.tx.is_none(),
+            "nested hardware transaction on core {tid}"
+        );
         // A doom left over from a transaction the runtime already gave up
         // on cannot exist: check_doomed consumed it. Defensive clear:
         core.doomed = None;
-        core.tx = Some(TxState {
-            ab_id,
-            start_clock: core.clock,
-            ..TxState::default()
-        });
+        let mut tx = core.spare_tx.take().unwrap_or_default();
+        tx.reset(ab_id, core.clock);
+        core.tx = Some(tx);
         self.cfg.tx_begin_cost
     }
 
@@ -401,12 +504,11 @@ impl SimState {
             Ok(lat) => {
                 let core = &mut self.cores[tid];
                 let tx = core.tx.as_mut().unwrap();
-                tx.first_pc.entry(line).or_insert(pc);
-                tx.read_lines.insert(line);
+                tx.touch_line(line, pc, false);
                 core.stats.tx_mem_ops += 1;
                 // Lazy: our own buffered write shadows memory.
-                let buffered = tx.write_buffer.get(&addr).copied();
-                self.owners.entry(line).or_default().readers |= 1 << tid;
+                let buffered = tx.buffered(addr);
+                self.owner_mut(line).readers |= 1 << tid;
                 (Ok(buffered.unwrap_or_else(|| self.read_word(addr))), lat)
             }
             Err(()) => (Err(self.self_abort(tid, AbortCause::Capacity)), 0),
@@ -435,11 +537,10 @@ impl SimState {
                 let old = self.read_word(addr);
                 let core = &mut self.cores[tid];
                 let tx = core.tx.as_mut().unwrap();
-                tx.first_pc.entry(line).or_insert(pc);
-                tx.write_lines.insert(line);
+                tx.touch_line(line, pc, true);
                 core.stats.tx_mem_ops += 1;
-                let o = self.owners.entry(line).or_default();
-                o.writers |= 1 << tid;
+                self.owner_mut(line).writers |= 1 << tid;
+                let tx = self.cores[tid].tx.as_mut().unwrap();
                 if eager {
                     // In place, undo-logged, exclusive.
                     tx.undo.push((addr, old));
@@ -447,7 +548,7 @@ impl SimState {
                     self.invalidate_others(tid, line);
                 } else {
                     // Private buffer; published at commit.
-                    tx.write_buffer.insert(addr, val);
+                    tx.buffer_store(addr, val);
                 }
                 (Ok(()), lat)
             }
@@ -472,12 +573,13 @@ impl SimState {
             for &(addr, old) in tx.undo.iter().rev() {
                 self.write_word(addr, old);
             }
-            for &l in &tx.write_lines {
-                self.cores[tid].l1.remove(l);
-                self.cores[tid].l2.remove(l);
+            for e in tx.lines.iter().filter(|e| e.written) {
+                self.cores[tid].l1.remove(e.line);
+                self.cores[tid].l2.remove(e.line);
             }
-            self.release_ownership(tid, &tx.read_lines, &tx.write_lines);
+            self.release_ownership(tid, &tx.lines);
         }
+        self.cores[tid].spare_tx = Some(tx);
         self.record(tid, TraceKind::Abort);
         TxError::Aborted(AbortInfo::simple(cause))
     }
@@ -492,34 +594,31 @@ impl SimState {
         }
         let mut commit_cost = self.cfg.tx_commit_cost;
         if self.cfg.protocol == HtmProtocol::Lazy {
-            let write_lines: Vec<u64> = self.cores[tid]
+            // Take the transaction out so its footprint can drive dooms
+            // and write-back without aliasing the simulator state.
+            let tx = self.cores[tid]
                 .tx
-                .as_ref()
-                .map(|t| t.write_lines.iter().copied().collect())
-                .unwrap_or_default();
-            for &line in &write_lines {
+                .take()
+                .expect("commit without transaction");
+            for e in tx.lines.iter().filter(|e| e.written) {
                 // Committer wins: doom every other reader/writer of the line.
-                self.resolve_conflicts(tid, line * crate::addr::LINE_BYTES, true);
+                self.resolve_conflicts(tid, e.line * crate::addr::LINE_BYTES, true);
             }
-            let buffer: Vec<(Addr, u64)> = self.cores[tid]
-                .tx
-                .as_mut()
-                .map(|t| t.write_buffer.drain().collect())
-                .unwrap_or_default();
-            commit_cost += buffer.len() as u64; // write-back bandwidth
-            for (addr, val) in buffer {
+            commit_cost += tx.write_buffer.len() as u64; // write-back bandwidth
+            for &(addr, val) in &tx.write_buffer {
                 self.write_word(addr, val);
             }
-            for &line in &write_lines {
-                self.invalidate_others(tid, line);
+            for e in tx.lines.iter().filter(|e| e.written) {
+                self.invalidate_others(tid, e.line);
             }
+            self.cores[tid].tx = Some(tx);
         }
         let core = &mut self.cores[tid];
         let tx = core.tx.take().expect("commit without transaction");
         core.stats.commits += 1;
-        core.stats.useful_tx_cycles +=
-            core.clock.saturating_sub(tx.start_clock) + commit_cost;
-        self.release_ownership(tid, &tx.read_lines, &tx.write_lines);
+        core.stats.useful_tx_cycles += core.clock.saturating_sub(tx.start_clock) + commit_cost;
+        self.release_ownership(tid, &tx.lines);
+        self.cores[tid].spare_tx = Some(tx);
         self.record(tid, TraceKind::Commit);
         (Ok(()), commit_cost)
     }
@@ -683,7 +782,7 @@ mod tests {
         s.tx_commit(0).0.unwrap();
         assert_eq!(s.host_load(a), 7);
         assert_eq!(s.cores[0].stats.commits, 1);
-        assert!(s.owners.is_empty(), "ownership released on commit");
+        assert!(s.owners_empty(), "ownership released on commit");
     }
 
     #[test]
@@ -793,8 +892,8 @@ mod tests {
         s.host_store(a, 1);
         s.tx_begin(0, 1);
         s.tx_store(0, a, 999, 0).0.unwrap(); // eager, in place
-        // Irrevocable/plain reader must get the pre-transactional value and
-        // doom the speculative writer.
+                                             // Irrevocable/plain reader must get the pre-transactional value and
+                                             // doom the speculative writer.
         let (v, _) = s.plain_load(1, a);
         assert_eq!(v, 1);
         assert!(s.tx_commit(0).0.is_err());
@@ -1043,15 +1142,9 @@ mod tests {
         s.cores[0].clock += 50; // doomed victim keeps running a bit
         assert!(s.tx_commit(0).0.is_err());
         // 100 + 50 cycles of attempt work plus the abort-delivery cost.
-        assert_eq!(
-            s.cores[0].stats.wasted_tx_cycles,
-            150 + s.cfg.tx_abort_cost
-        );
+        assert_eq!(s.cores[0].stats.wasted_tx_cycles, 150 + s.cfg.tx_abort_cost);
         s.cores[1].clock += 30;
         s.tx_commit(1).0.unwrap();
-        assert_eq!(
-            s.cores[1].stats.useful_tx_cycles,
-            30 + s.cfg.tx_commit_cost
-        );
+        assert_eq!(s.cores[1].stats.useful_tx_cycles, 30 + s.cfg.tx_commit_cost);
     }
 }

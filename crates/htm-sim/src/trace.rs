@@ -37,7 +37,11 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
                             *cell = '=';
                         }
                     }
-                    let mark = if e.kind == TraceKind::Commit { 'C' } else { 'x' };
+                    let mark = if e.kind == TraceKind::Commit {
+                        'C'
+                    } else {
+                        'x'
+                    };
                     // Aborts dominate commits dominate fill.
                     if row[c] != 'x' {
                         row[c] = mark;

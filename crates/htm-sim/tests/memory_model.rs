@@ -1,7 +1,8 @@
-//! Property tests for the simulated machine's memory model.
+//! Randomized tests for the simulated machine's memory model, driven by a
+//! fixed-seed in-tree PRNG so every run checks the same cases.
 
 use htm_sim::{Core, Machine, MachineConfig};
-use proptest::prelude::*;
+use stagger_prng::Xoshiro256StarStar;
 use std::collections::HashMap;
 
 /// A random single-core sequence of transactional/nontransactional
@@ -15,20 +16,25 @@ enum Op {
     Txn(Vec<(u64, u64)>), // read-modify-write pairs: addr += delta
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let addr = (0u64..32).prop_map(|i| 4096 + i * 8);
-    prop_oneof![
-        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Op::NtStore(a, v)),
-        addr.clone().prop_map(Op::NtLoad),
-        proptest::collection::vec((addr, 1u64..100), 1..6).prop_map(Op::Txn),
-    ]
+fn random_op(rng: &mut Xoshiro256StarStar) -> Op {
+    let addr = |rng: &mut Xoshiro256StarStar| 4096 + rng.below(32) * 8;
+    match rng.below(3) {
+        0 => Op::NtStore(addr(rng), rng.next_u64()),
+        1 => Op::NtLoad(addr(rng)),
+        _ => {
+            let n = rng.gen_range(1, 6);
+            Op::Txn((0..n).map(|_| (addr(rng), rng.gen_range(1, 100))).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+#[test]
+fn single_core_matches_reference_model() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x6D6F_64656C);
+    for _case in 0..16 {
+        let n_ops = rng.gen_range(1, 40) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn single_core_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
         let machine = Machine::new(MachineConfig::small(1));
         let _heap = machine.host_alloc(64, true); // cover the address range
         let mut model: HashMap<u64, u64> = HashMap::new();
@@ -67,17 +73,19 @@ proptest! {
             }
         }
         for (a, v) in &model {
-            prop_assert_eq!(machine.host_load(*a), *v, "address {:#x}", a);
+            assert_eq!(machine.host_load(*a), *v, "address {a:#x}");
         }
     }
+}
 
-    /// Concurrent increments to per-thread-disjoint lines never conflict
-    /// and always land, for any partitioning.
-    #[test]
-    fn disjoint_lines_always_commit(
-        n_threads in 2usize..5,
-        incs in 1u64..20,
-    ) {
+/// Concurrent increments to per-thread-disjoint lines never conflict
+/// and always land, for any partitioning.
+#[test]
+fn disjoint_lines_always_commit() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x6469_736A);
+    for _case in 0..8 {
+        let n_threads = rng.gen_range(2, 5) as usize;
+        let incs = rng.gen_range(1, 20);
         let machine = Machine::new(MachineConfig::small(n_threads));
         let base = machine.host_alloc(n_threads as u64 * 8, true);
         machine.run_uniform(|c| {
@@ -90,22 +98,24 @@ proptest! {
             }
         });
         let agg = machine.stats().aggregate();
-        prop_assert_eq!(agg.aborts(), 0);
+        assert_eq!(agg.aborts(), 0);
         for t in 0..n_threads as u64 {
-            prop_assert_eq!(machine.host_load(base + t * 64), incs);
+            assert_eq!(machine.host_load(base + t * 64), incs);
         }
     }
+}
 
-    /// The fundamental HTM property under arbitrary contention: N threads
-    /// each performing K retried increments of one shared counter always
-    /// sum exactly, in both protocols.
-    #[test]
-    fn contended_counter_is_exact(
-        n_threads in 2usize..5,
-        incs in 1u64..15,
-        lazy in any::<bool>(),
-        pad in 0u32..60,
-    ) {
+/// The fundamental HTM property under arbitrary contention: N threads
+/// each performing K retried increments of one shared counter always
+/// sum exactly, in both protocols.
+#[test]
+fn contended_counter_is_exact() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x636F_756E74);
+    for _case in 0..12 {
+        let n_threads = rng.gen_range(2, 5) as usize;
+        let incs = rng.gen_range(1, 15);
+        let lazy = rng.gen_bool();
+        let pad = rng.below(60);
         let cfg = if lazy {
             MachineConfig::small_lazy(n_threads)
         } else {
@@ -119,7 +129,7 @@ proptest! {
                     c.tx_begin(0);
                     let r = (|| {
                         let v = c.tx_load(a, 0x100)?;
-                        c.compute(pad as u64);
+                        c.compute(pad);
                         c.tx_store(a, v + 1, 0x104)?;
                         Ok::<_, htm_sim::TxError>(())
                     })();
@@ -129,6 +139,10 @@ proptest! {
                 }
             }
         });
-        prop_assert_eq!(machine.host_load(a), n_threads as u64 * incs);
+        assert_eq!(
+            machine.host_load(a),
+            n_threads as u64 * incs,
+            "threads {n_threads} incs {incs} lazy {lazy} pad {pad}"
+        );
     }
 }

@@ -82,7 +82,11 @@ pub fn build_local_anchor_table(module: &Module, fid: FuncId, dsa: &FuncDsa) -> 
                 Some(m) => {
                     // Non-anchor; pioneer is the dominating access's anchor
                     // (follow through if m is itself a non-anchor).
-                    let pioneer = if m.is_anchor { m.inst } else { m.pioneer.unwrap() };
+                    let pioneer = if m.is_anchor {
+                        m.inst
+                    } else {
+                        m.pioneer.unwrap()
+                    };
                     ATEntry {
                         inst: iref,
                         is_anchor: false,

@@ -30,9 +30,8 @@ pub fn instrument_module(
                     idx: idx as u32,
                 };
                 if let Some(&anchor) = anchor_id_of.get(&old) {
-                    let (base, index, offset) = inst
-                        .mem_operands()
-                        .expect("anchors are memory accesses");
+                    let (base, index, offset) =
+                        inst.mem_operands().expect("anchors are memory accesses");
                     new_insts.push(Inst::AlPoint {
                         anchor,
                         base,

@@ -148,7 +148,9 @@ pub fn build_unified_table(
     let mut by_pc = HashMap::new();
     let mut anchor_entry = HashMap::new();
     for (i, e) in entries.iter().enumerate() {
-        by_trunc_pc.entry(CodeLayout::truncate_pc(e.pc)).or_insert(i);
+        by_trunc_pc
+            .entry(CodeLayout::truncate_pc(e.pc))
+            .or_insert(i);
         by_pc.insert(e.pc, i);
         if e.is_anchor {
             anchor_entry.insert(e.anchor_id, i);

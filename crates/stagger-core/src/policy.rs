@@ -116,12 +116,7 @@ pub fn activate_alpoint(
 
 /// Does the history still show recurrent aborts attributed to `anchor` (or
 /// to a child whose promotion target it is)?
-fn anchor_evidence(
-    table: &UnifiedAnchorTable,
-    ctx: &ABContext,
-    anchor: u32,
-    pc_thr: u32,
-) -> bool {
+fn anchor_evidence(table: &UnifiedAnchorTable, ctx: &ABContext, anchor: u32, pc_thr: u32) -> bool {
     let Some(entry) = table.anchor_entry(anchor) else {
         return false;
     };

@@ -3,9 +3,9 @@
 use crate::context::{ABContext, Activation};
 use crate::locks::{GlobalLock, LockTable};
 use crate::policy::{activate_alpoint, PolicyConfig};
+use htm_sim::fx::FxHashMap;
 use htm_sim::{line_of, AbortInfo, Addr, Core, Machine};
 use stagger_compiler::Compiled;
-use std::collections::HashMap;
 
 /// Execution modes compared in the paper's Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,7 +26,12 @@ pub enum Mode {
 }
 
 impl Mode {
-    pub const ALL: [Mode; 4] = [Mode::Htm, Mode::AddrOnly, Mode::StaggeredSw, Mode::Staggered];
+    pub const ALL: [Mode; 4] = [
+        Mode::Htm,
+        Mode::AddrOnly,
+        Mode::StaggeredSw,
+        Mode::Staggered,
+    ];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -128,10 +133,10 @@ impl SharedRt {
 pub struct RtStats {
     /// Histogram of conflicting (line) addresses over contention aborts —
     /// drives the paper's Table 1 "LA" locality classification.
-    pub addr_hist: HashMap<u64, u64>,
+    pub addr_hist: FxHashMap<u64, u64>,
     /// Histogram of true first-access PCs over contention aborts — drives
     /// the Table 1 "LP" classification.
-    pub pc_hist: HashMap<u64, u64>,
+    pub pc_hist: FxHashMap<u64, u64>,
     /// Contention aborts processed by the policy.
     pub contention_aborts: u64,
     /// Of those, aborts where an anchor was identified at all.
@@ -148,9 +153,9 @@ pub struct RtStats {
     /// Dynamic count of executed ALPoints.
     pub alps_executed: u64,
     /// Which lock words were acquired (diagnostics).
-    pub lock_word_hist: HashMap<u64, u64>,
+    pub lock_word_hist: FxHashMap<u64, u64>,
     /// Which anchors were activated (diagnostics).
-    pub anchor_hist: HashMap<u32, u64>,
+    pub anchor_hist: FxHashMap<u32, u64>,
 }
 
 impl RtStats {
@@ -200,7 +205,7 @@ impl RtStats {
         Self::top_share(&self.pc_hist)
     }
 
-    fn top_share(h: &HashMap<u64, u64>) -> f64 {
+    fn top_share(h: &FxHashMap<u64, u64>) -> f64 {
         let total: u64 = h.values().sum();
         if total == 0 {
             return 0.0;
@@ -214,11 +219,11 @@ pub struct ThreadRuntime<'c> {
     pub cfg: RuntimeConfig,
     compiled: &'c Compiled,
     shared: SharedRt,
-    ctxs: HashMap<u32, ABContext>,
+    ctxs: FxHashMap<u32, ABContext>,
     held_locks: Vec<Addr>,
     /// Software conflicting-PC map (Section 4): line → anchor id, set at
     /// each executed ALP if absent.
-    sw_map: HashMap<u64, u32>,
+    sw_map: FxHashMap<u64, u32>,
     /// Deterministic backoff jitter state.
     rng: u64,
     pub stats: RtStats,
@@ -230,9 +235,9 @@ impl<'c> ThreadRuntime<'c> {
             cfg,
             compiled,
             shared,
-            ctxs: HashMap::new(),
+            ctxs: FxHashMap::default(),
             held_locks: Vec::new(),
-            sw_map: HashMap::new(),
+            sw_map: FxHashMap::default(),
             rng: 0x9E37_79B9 ^ ((tid as u64 + 1) << 32) | 1,
             stats: RtStats::default(),
         }
@@ -430,11 +435,7 @@ impl<'c> ThreadRuntime<'c> {
         // Locality histograms are recorded in every mode (offline analysis
         // for Table 1, independent of the policy).
         *self.stats.addr_hist.entry(info.conf_addr).or_insert(0) += 1;
-        *self
-            .stats
-            .pc_hist
-            .entry(info.true_first_pc)
-            .or_insert(0) += 1;
+        *self.stats.pc_hist.entry(info.true_first_pc).or_insert(0) += 1;
         if self.cfg.mode == Mode::Htm {
             return;
         }
@@ -490,7 +491,13 @@ impl<'c> ThreadRuntime<'c> {
             .entry(ab_id)
             .or_insert_with(|| ABContext::new(ab_id, hl));
         activate_alpoint(
-            &policy, table, ctx, anchor_id, anchor_pc, info.conf_addr, retries,
+            &policy,
+            table,
+            ctx,
+            anchor_id,
+            anchor_pc,
+            info.conf_addr,
+            retries,
         );
         if gated_off {
             // Decision (1) vetoes: the block's recent conflict frequency is

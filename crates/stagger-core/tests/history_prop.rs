@@ -1,19 +1,21 @@
-//! Property test: the abort-history ring buffer agrees with a naive
-//! keep-the-last-N vector model.
+//! Randomized test: the abort-history ring buffer agrees with a naive
+//! keep-the-last-N vector model, over a fixed-seed sweep of cases.
 
-use proptest::prelude::*;
 use stagger_core::AbortHistory;
+use stagger_prng::Xoshiro256StarStar;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+#[test]
+fn ring_matches_naive_model() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x6869_7374);
+    for _case in 0..256 {
+        let cap = rng.gen_range(1, 12) as usize;
+        let n_records = rng.below(40) as usize;
+        let records: Vec<(u64, u64)> = (0..n_records)
+            .map(|_| (rng.below(6), rng.below(6)))
+            .collect();
+        let query_pc = rng.below(6);
+        let query_addr = rng.below(6);
 
-    #[test]
-    fn ring_matches_naive_model(
-        cap in 1usize..12,
-        records in proptest::collection::vec((0u64..6, 0u64..6), 0..40),
-        query_pc in 0u64..6,
-        query_addr in 0u64..6,
-    ) {
         let mut h = AbortHistory::new(cap);
         let mut model: Vec<(u64, u64)> = Vec::new();
         for &(pc, addr) in &records {
@@ -23,27 +25,33 @@ proptest! {
                 model.remove(0);
             }
         }
-        prop_assert_eq!(h.len(), model.len());
+        assert_eq!(h.len(), model.len());
         // Counts: zero keys never match (they denote empty/unattributed).
-        let expect_pc = if query_pc == 0 { 0 } else {
+        let expect_pc = if query_pc == 0 {
+            0
+        } else {
             model.iter().filter(|r| r.0 == query_pc).count() as u32
         };
-        let expect_addr = if query_addr == 0 { 0 } else {
+        let expect_addr = if query_addr == 0 {
+            0
+        } else {
             model.iter().filter(|r| r.1 == query_addr).count() as u32
         };
-        prop_assert_eq!(h.count_pc(query_pc), expect_pc);
-        prop_assert_eq!(h.count_addr(query_addr), expect_addr);
+        assert_eq!(h.count_pc(query_pc), expect_pc);
+        assert_eq!(h.count_addr(query_addr), expect_addr);
         // Iteration order: oldest first, exactly the model.
         let got: Vec<(u64, u64)> = h.iter().map(|r| (r.pc, r.addr)).collect();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model);
     }
+}
 
-    #[test]
-    fn empty_appends_displace_evidence(
-        cap in 1usize..10,
-        n_real in 0usize..10,
-        n_empty in 0usize..10,
-    ) {
+#[test]
+fn empty_appends_displace_evidence() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x656D_7074);
+    for _case in 0..64 {
+        let cap = rng.gen_range(1, 10) as usize;
+        let n_real = rng.below(10) as usize;
+        let n_empty = rng.below(10) as usize;
         let mut h = AbortHistory::new(cap);
         for _ in 0..n_real {
             h.append(7, 7);
@@ -52,7 +60,11 @@ proptest! {
             h.append_empty();
         }
         let expect = n_real.min(cap.saturating_sub(n_empty.min(cap)));
-        prop_assert_eq!(h.count_pc(7) as usize, expect);
-        prop_assert_eq!(h.count_addr(7) as usize, expect);
+        assert_eq!(
+            h.count_pc(7) as usize,
+            expect,
+            "cap {cap} real {n_real} empty {n_empty}"
+        );
+        assert_eq!(h.count_addr(7) as usize, expect);
     }
 }

@@ -1,6 +1,7 @@
-//! Property tests for the DSGraph union-find with edge merging.
+//! Randomized tests for the DSGraph union-find with edge merging, driven
+//! by a fixed-seed in-tree PRNG sweep.
 
-use proptest::prelude::*;
+use stagger_prng::Xoshiro256StarStar;
 use tm_dsa::{DsGraph, NodeFlags, NodeId};
 
 #[derive(Debug, Clone)]
@@ -10,15 +11,15 @@ enum Op {
     Edge(usize, u32),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(Op::Fresh),
-            (0usize..24, 0usize..24).prop_map(|(a, b)| Op::Unify(a, b)),
-            (0usize..24, 0u32..4).prop_map(|(n, f)| Op::Edge(n, f)),
-        ],
-        1..60,
-    )
+fn random_ops(rng: &mut Xoshiro256StarStar) -> Vec<Op> {
+    let n = rng.gen_range(1, 60) as usize;
+    (0..n)
+        .map(|_| match rng.below(3) {
+            0 => Op::Fresh,
+            1 => Op::Unify(rng.index(24), rng.index(24)),
+            _ => Op::Edge(rng.index(24), rng.below(4) as u32),
+        })
+        .collect()
 }
 
 fn apply(g: &mut DsGraph, ops: &[Op]) -> Vec<NodeId> {
@@ -40,75 +41,88 @@ fn apply(g: &mut DsGraph, ops: &[Op]) -> Vec<NodeId> {
     nodes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
-
-    /// find() is idempotent and produces a representative that find()s to
-    /// itself; unified nodes share a representative forever.
-    #[test]
-    fn find_is_canonical(ops in ops()) {
+/// find() is idempotent and produces a representative that find()s to
+/// itself; unified nodes share a representative forever.
+#[test]
+fn find_is_canonical() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x6669_6E64);
+    for _case in 0..128 {
+        let ops = random_ops(&mut rng);
         let mut g = DsGraph::new();
         let nodes = apply(&mut g, &ops);
         for &n in &nodes {
             let r = g.find(n);
-            prop_assert_eq!(g.find(r), r, "representative is a fixpoint");
+            assert_eq!(g.find(r), r, "representative is a fixpoint");
         }
     }
+}
 
-    /// After unify(a, b), find(a) == find(b), and same-offset edge targets
-    /// of the merged node are themselves unified (cascade property).
-    #[test]
-    fn unify_merges_classes_and_edges(ops in ops(), fa in 0u32..4) {
+/// After unify(a, b), find(a) == find(b), and same-offset edge targets
+/// of the merged node are themselves unified (cascade property).
+#[test]
+fn unify_merges_classes_and_edges() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x756E_6966);
+    for _case in 0..128 {
+        let ops = random_ops(&mut rng);
+        let fa = rng.below(4) as u32;
         let mut g = DsGraph::new();
         let nodes = apply(&mut g, &ops);
         let (a, b) = (nodes[0], *nodes.last().unwrap());
         let ta = g.edge_target(a, fa);
         let tb = g.edge_target(b, fa);
         g.unify(a, b);
-        prop_assert_eq!(g.find(a), g.find(b));
-        prop_assert_eq!(g.find(ta), g.find(tb), "same-offset targets cascade");
+        assert_eq!(g.find(a), g.find(b));
+        assert_eq!(g.find(ta), g.find(tb), "same-offset targets cascade");
         // Edge lookup after merge agrees with both prior targets.
         let t = g.edge_target_opt(a, fa).unwrap();
-        prop_assert_eq!(t, g.find(ta));
+        assert_eq!(t, g.find(ta));
     }
+}
 
-    /// Representatives partition the slots: every slot finds to exactly one
-    /// representative, and representatives() lists each exactly once.
-    #[test]
-    fn representatives_partition(ops in ops()) {
+/// Representatives partition the slots: every slot finds to exactly one
+/// representative, and representatives() lists each exactly once.
+#[test]
+fn representatives_partition() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7265_7073);
+    for _case in 0..128 {
+        let ops = random_ops(&mut rng);
         let mut g = DsGraph::new();
         apply(&mut g, &ops);
         let reps = g.representatives();
         let mut sorted = reps.clone();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), reps.len());
+        assert_eq!(sorted.len(), reps.len());
         for i in 0..g.n_slots() as u32 {
             let r = g.find(NodeId(i));
-            prop_assert!(reps.contains(&r), "slot {} -> non-listed rep {}", i, r);
+            assert!(reps.contains(&r), "slot {i} -> non-listed rep {r}");
         }
-        prop_assert_eq!(reps.len(), g.n_nodes());
+        assert_eq!(reps.len(), g.n_nodes());
     }
+}
 
-    /// Importing a graph preserves its quotient structure: unified slots
-    /// stay unified, distinct representatives stay distinct, edges carry
-    /// over.
-    #[test]
-    fn import_preserves_quotient(ops in ops()) {
+/// Importing a graph preserves its quotient structure: unified slots
+/// stay unified, distinct representatives stay distinct, edges carry
+/// over.
+#[test]
+fn import_preserves_quotient() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x696D_706F);
+    for _case in 0..64 {
+        let ops = random_ops(&mut rng);
         let mut g1 = DsGraph::new();
         apply(&mut g1, &ops);
         let mut g2 = DsGraph::new();
         let map = g2.import(&g1);
-        prop_assert_eq!(map.len(), g1.n_slots());
+        assert_eq!(map.len(), g1.n_slots());
         for i in 0..g1.n_slots() as u32 {
             for j in 0..g1.n_slots() as u32 {
                 let same1 = g1.find(NodeId(i)) == g1.find(NodeId(j));
                 let same2 = g2.find(map[i as usize]) == g2.find(map[j as usize]);
-                prop_assert_eq!(same1, same2, "i={} j={}", i, j);
+                assert_eq!(same1, same2, "i={i} j={j}");
             }
         }
         for r in g1.representatives() {
             for (off, t) in g1.edges_of(r) {
-                prop_assert_eq!(
+                assert_eq!(
                     g2.edge_target_opt(map[r.index()], off),
                     Some(g2.find(map[t.index()]))
                 );

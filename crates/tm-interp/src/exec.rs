@@ -309,8 +309,7 @@ impl<'c> Executor<'c> {
                         args: ref call_args,
                         dst,
                     } => {
-                        let vals: Vec<u64> =
-                            call_args.iter().map(|r| regs[r.index()]).collect();
+                        let vals: Vec<u64> = call_args.iter().map(|r| regs[r.index()]).collect();
                         let r = match prepared.funcs[func.index()].kind {
                             // A call to an atomic function from plain code
                             // opens a hardware transaction (the verifier
@@ -339,7 +338,11 @@ impl<'c> Executor<'c> {
                         then_b,
                         else_b,
                     } => {
-                        bid = if regs[cond.index()] != 0 { then_b } else { else_b };
+                        bid = if regs[cond.index()] != 0 {
+                            then_b
+                        } else {
+                            else_b
+                        };
                         continue 'blocks;
                     }
                     Inst::Compute { cycles } => core.compute(cycles as u64),

@@ -27,4 +27,4 @@ pub mod run;
 
 pub use exec::{ExecStats, Executor};
 pub use prepared::Prepared;
-pub use run::{run_workload, RunOutcome, ThreadPlan};
+pub use run::{run_workload, run_workload_prepared, RunOutcome, ThreadPlan};

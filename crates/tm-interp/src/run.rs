@@ -41,9 +41,28 @@ impl RunOutcome {
 /// Run `plans` (one per core of `machine`) against `compiled` under the
 /// given runtime configuration. Deterministic for fixed seeds: thread `t`
 /// uses workload seed `base_seed + t`.
+///
+/// Flattens the module with [`Prepared::build`] on every call; harnesses
+/// that run the same workload many times should build once and use
+/// [`run_workload_prepared`].
 pub fn run_workload(
     machine: &Machine,
     compiled: &Compiled,
+    rt_cfg: &RuntimeConfig,
+    plans: &[ThreadPlan],
+    base_seed: u64,
+) -> RunOutcome {
+    let prepared = Arc::new(Prepared::build(compiled));
+    run_workload_prepared(machine, compiled, &prepared, rt_cfg, plans, base_seed)
+}
+
+/// Like [`run_workload`], but reusing a pre-built [`Prepared`] flattening
+/// of `compiled`. `prepared` MUST come from `Prepared::build` on the same
+/// `Compiled` — the executor indexes one with PCs from the other.
+pub fn run_workload_prepared(
+    machine: &Machine,
+    compiled: &Compiled,
+    prepared: &Arc<Prepared>,
     rt_cfg: &RuntimeConfig,
     plans: &[ThreadPlan],
     base_seed: u64,
@@ -53,7 +72,6 @@ pub fn run_workload(
         machine.config().n_cores,
         "one thread plan per simulated core"
     );
-    let prepared = Arc::new(Prepared::build(compiled));
     let shared = SharedRt::new(machine, rt_cfg);
     let results: Mutex<Vec<Option<(RtStats, ExecStats, u64)>>> =
         Mutex::new(vec![None; plans.len()]);

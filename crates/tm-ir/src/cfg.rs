@@ -97,11 +97,7 @@ mod tests {
         let mut b = FuncBuilder::new("d", 1, FuncKind::Normal);
         let c = b.eqi(b.param(0), 0);
         let out = b.reg();
-        b.if_else(
-            c,
-            |b| b.assign_const(out, 1),
-            |b| b.assign_const(out, 2),
-        );
+        b.if_else(c, |b| b.assign_const(out, 1), |b| b.assign_const(out, 2));
         b.ret(Some(out));
         let f = b.finish();
         let cfg = Cfg::build(&f);
@@ -143,8 +139,8 @@ mod tests {
     #[test]
     fn cond_br_same_target_dedups() {
         use crate::func::{Block, Function};
-        use crate::inst::Inst;
         use crate::ids::Reg;
+        use crate::inst::Inst;
         let f = Function {
             name: "same".into(),
             kind: FuncKind::Normal,

@@ -133,7 +133,10 @@ pub enum Inst {
 impl Inst {
     /// Is this instruction a block terminator?
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. })
+        matches!(
+            self,
+            Inst::Ret { .. } | Inst::Br { .. } | Inst::CondBr { .. }
+        )
     }
 
     /// Is this a memory access (transactional load or store)?
@@ -157,10 +160,16 @@ impl Inst {
                 Some((base, None, offset))
             }
             Inst::LoadIdx {
-                base, index, offset, ..
+                base,
+                index,
+                offset,
+                ..
             }
             | Inst::StoreIdx {
-                base, index, offset, ..
+                base,
+                index,
+                offset,
+                ..
             } => Some((base, Some(index), offset)),
             _ => None,
         }
@@ -299,10 +308,7 @@ mod tests {
     #[test]
     fn terminators() {
         assert!(Inst::Ret { val: None }.is_terminator());
-        assert!(Inst::Br {
-            target: BlockId(0)
-        }
-        .is_terminator());
+        assert!(Inst::Br { target: BlockId(0) }.is_terminator());
         assert!(!Inst::Compute { cycles: 3 }.is_terminator());
     }
 }

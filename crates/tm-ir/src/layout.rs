@@ -69,10 +69,9 @@ impl CodeLayout {
 
     /// The PC of an instruction.
     pub fn pc(&self, r: InstRef) -> Pc {
-        *self
-            .pc_of
-            .get(&r)
-            .unwrap_or_else(|| panic!("no PC for {r} — was the module re-instrumented after layout?"))
+        *self.pc_of.get(&r).unwrap_or_else(|| {
+            panic!("no PC for {r} — was the module re-instrumented after layout?")
+        })
     }
 
     /// The instruction at a PC, if any.

@@ -12,12 +12,35 @@ use std::fmt;
 /// instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
-    EmptyBlock { func: String, block: BlockId },
-    MissingTerminator { func: String, block: BlockId },
-    TerminatorMidBlock { func: String, block: BlockId, idx: usize },
-    BadBlockTarget { func: String, block: BlockId, target: BlockId },
-    BadRegister { func: String, block: BlockId, idx: usize, reg: Reg },
-    BadCallee { func: String, block: BlockId, callee: FuncId },
+    EmptyBlock {
+        func: String,
+        block: BlockId,
+    },
+    MissingTerminator {
+        func: String,
+        block: BlockId,
+    },
+    TerminatorMidBlock {
+        func: String,
+        block: BlockId,
+        idx: usize,
+    },
+    BadBlockTarget {
+        func: String,
+        block: BlockId,
+        target: BlockId,
+    },
+    BadRegister {
+        func: String,
+        block: BlockId,
+        idx: usize,
+        reg: Reg,
+    },
+    BadCallee {
+        func: String,
+        block: BlockId,
+        callee: FuncId,
+    },
     ArgCountMismatch {
         func: String,
         block: BlockId,
@@ -25,8 +48,13 @@ pub enum VerifyError {
         expected: u32,
         got: usize,
     },
-    NestedAtomicCall { func: String, callee: String },
-    BadEntry { func: String },
+    NestedAtomicCall {
+        func: String,
+        callee: String,
+    },
+    BadEntry {
+        func: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -39,15 +67,31 @@ impl fmt::Display for VerifyError {
                 write!(f, "{func}: {block} does not end in a terminator")
             }
             VerifyError::TerminatorMidBlock { func, block, idx } => {
-                write!(f, "{func}: {block} has a terminator at index {idx}, not at the end")
+                write!(
+                    f,
+                    "{func}: {block} has a terminator at index {idx}, not at the end"
+                )
             }
-            VerifyError::BadBlockTarget { func, block, target } => {
+            VerifyError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => {
                 write!(f, "{func}: {block} branches to nonexistent {target}")
             }
-            VerifyError::BadRegister { func, block, idx, reg } => {
+            VerifyError::BadRegister {
+                func,
+                block,
+                idx,
+                reg,
+            } => {
                 write!(f, "{func}: {block}:{idx} references out-of-range {reg}")
             }
-            VerifyError::BadCallee { func, block, callee } => {
+            VerifyError::BadCallee {
+                func,
+                block,
+                callee,
+            } => {
                 write!(f, "{func}: {block} calls nonexistent function {callee}")
             }
             VerifyError::ArgCountMismatch {
@@ -74,10 +118,7 @@ impl std::error::Error for VerifyError {}
 /// Verify a single function against the function table size `n_funcs`
 /// (callee indices must be in range; argument counts are checked by
 /// [`verify_module`], which has the callee signatures).
-pub fn verify_function(
-    f: &crate::func::Function,
-    n_funcs: usize,
-) -> Result<(), VerifyError> {
+pub fn verify_function(f: &crate::func::Function, n_funcs: usize) -> Result<(), VerifyError> {
     let name = &f.name;
     if f.entry.index() >= f.blocks.len() {
         return Err(VerifyError::BadEntry { func: name.clone() });
@@ -315,9 +356,7 @@ mod tests {
             n_params: 0,
             n_regs: 0,
             blocks: vec![Block {
-                insts: vec![Inst::Br {
-                    target: BlockId(9),
-                }],
+                insts: vec![Inst::Br { target: BlockId(9) }],
             }],
             entry: BlockId(0),
         };

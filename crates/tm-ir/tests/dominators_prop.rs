@@ -1,7 +1,8 @@
-//! Property test: the iterative dominator-tree algorithm agrees with
-//! brute-force reachability-based dominance on random CFGs.
+//! Randomized test: the iterative dominator-tree algorithm agrees with
+//! brute-force reachability-based dominance on random CFGs drawn from a
+//! fixed-seed in-tree PRNG.
 
-use proptest::prelude::*;
+use stagger_prng::Xoshiro256StarStar;
 use tm_ir::{Block, BlockId, Cfg, DomTree, FuncKind, Function, Inst, Reg};
 
 /// Build a function whose CFG is given by an adjacency list (each block
@@ -76,19 +77,18 @@ fn reachable(n: usize, succs: &[Vec<usize>]) -> Vec<bool> {
     visited
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    #[test]
-    fn dominator_tree_matches_bruteforce(
-        n in 2usize..10,
-        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..25),
-    ) {
+#[test]
+fn dominator_tree_matches_bruteforce() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x646F_6D73);
+    for _case in 0..64 {
+        let n = rng.gen_range(2, 10) as usize;
+        let n_edges = rng.gen_range(1, 25) as usize;
         // Random graph over n nodes: up to 2 successors per node, taken in
         // order from the random edge list.
         let mut succs = vec![Vec::new(); n];
-        for (from, to) in edges {
-            let (from, to) = (from % n, to % n);
+        for _ in 0..n_edges {
+            let from = rng.index(n);
+            let to = rng.index(n);
             if succs[from].len() < 2 && !succs[from].contains(&to) {
                 succs[from].push(to);
             }
@@ -103,16 +103,16 @@ proptest! {
                 if !reach[a] || !reach[b] {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     dt.dominates_block(BlockId(a as u32), BlockId(b as u32)),
                     dominates_bruteforce(n, &succs, a, b),
-                    "a={} b={} succs={:?}", a, b, succs
+                    "a={a} b={b} succs={succs:?}"
                 );
             }
         }
 
         // The dominator-tree DFS covers exactly the reachable blocks.
         let pre = dt.dfs_preorder();
-        prop_assert_eq!(pre.len(), reach.iter().filter(|&&r| r).count());
+        assert_eq!(pre.len(), reach.iter().filter(|&&r| r).count());
     }
 }

@@ -150,11 +150,7 @@ impl Workload for Genome {
                 let stop0 = b.add(i, chunk);
                 let over = b.gt(stop0, end);
                 let stop = b.reg();
-                b.if_else(
-                    over,
-                    |b| b.assign(stop, end),
-                    |b| b.assign(stop, stop0),
-                );
+                b.if_else(over, |b| b.assign(stop, end), |b| b.assign(stop, stop0));
                 let ok = b.call(tx_insert, &[ht, vec, i, stop]);
                 let s = b.add(inserted, ok);
                 b.assign(inserted, s);
@@ -173,15 +169,14 @@ impl Workload for Genome {
     }
 
     fn setup(&self, machine: &Machine, n_threads: usize) -> Vec<Vec<u64>> {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x67656E6F6D65);
+        let mut rng = stagger_prng::Xoshiro256StarStar::seed_from_u64(0x67656E6F6D65);
 
         // Segment vector: values drawn from `n_distinct` keys (nonzero so 0
         // can mean "null").
         let vec = machine.host_alloc(1 + self.n_segments, true);
         machine.host_store(vec, self.n_segments);
         for s in 0..self.n_segments {
-            let key = rng.random_range(0..self.n_distinct) * 8 + 1;
+            let key = rng.below(self.n_distinct) * 8 + 1;
             machine.host_store(vec + 8 * (1 + s), key);
         }
         // Empty hashtable.
@@ -233,7 +228,9 @@ impl Workload for Genome {
             while cur != 0 {
                 let k = machine.host_load(cur);
                 if k <= last {
-                    return Err(format!("bucket {bkt} not strictly sorted: {k} after {last}"));
+                    return Err(format!(
+                        "bucket {bkt} not strictly sorted: {k} after {last}"
+                    ));
                 }
                 if k % self.n_buckets != bkt {
                     return Err(format!("key {k} in wrong bucket {bkt}"));

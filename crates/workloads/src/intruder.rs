@@ -76,7 +76,7 @@ fn build_queue_push(m: &mut Module) -> tm_ir::FuncId {
     let empty = b.eqi(tail, 0);
     b.if_else(
         empty,
-        |b| b.store(node, q, 0), // head = node
+        |b| b.store(node, q, 0),    // head = node
         |b| b.store(node, tail, 1), // tail->next = node
     );
     b.store(node, q, 1); // tail = node

@@ -148,22 +148,21 @@ impl Workload for Kmeans {
     }
 
     fn setup(&self, machine: &Machine, n_threads: usize) -> Vec<Vec<u64>> {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x6B6D65616E73);
+        let mut rng = stagger_prng::Xoshiro256StarStar::seed_from_u64(0x6B6D65616E73);
         let p_stride = self.point_stride();
         let c_stride = self.stride();
 
         let points = machine.host_alloc(self.n_points * p_stride, true);
         for p in 0..self.n_points {
             let base = points + p * p_stride * 8;
-            machine.host_store(base, rng.random_range(0..self.n_clusters));
+            machine.host_store(base, rng.below(self.n_clusters));
             for d in 0..self.dims {
-                machine.host_store(base + 8 * (1 + d), rng.random_range(0..1000));
+                machine.host_store(base + 8 * (1 + d), rng.below(1000));
             }
         }
         let old_centers = machine.host_alloc(self.n_clusters * c_stride, true);
         for c in 0..self.n_clusters * c_stride {
-            machine.host_store(old_centers + c * 8, rng.random_range(0..1000));
+            machine.host_store(old_centers + c * 8, rng.below(1000));
         }
         let accum = machine.host_alloc(self.n_clusters * c_stride, true);
         let slots = alloc_stat_slots(machine, n_threads);

@@ -180,7 +180,9 @@ impl Workload for Labyrinth {
         b.if_(blocked, |b| b.ret_const(0));
         let claimed = b.call(
             scan,
-            &[args[0], args[1], args[2], args[3], args[4], args[5], args[6]],
+            &[
+                args[0], args[1], args[2], args[3], args[4], args[5], args[6],
+            ],
         );
         b.ret(Some(claimed));
         let tx_route = m.add_function(b.finish());

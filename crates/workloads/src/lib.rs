@@ -35,7 +35,7 @@ pub mod ssca2;
 pub mod tsp;
 pub mod vacation;
 
-pub use runner::{run_benchmark, BenchResult};
+pub use runner::{run_benchmark, run_benchmark_cfg, BenchResult, PreparedWorkload};
 
 use htm_sim::Machine;
 use tm_interp::RunOutcome;

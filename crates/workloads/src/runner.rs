@@ -1,10 +1,17 @@
 //! One-call benchmark runner: compile, set up, execute, validate.
+//!
+//! Harnesses that run the same workload in many modes / at many thread
+//! counts should compile once via [`PreparedWorkload`] and then call
+//! [`PreparedWorkload::run`] per configuration; [`run_benchmark`] remains
+//! the convenient one-shot entry point.
 
 use crate::Workload;
 use htm_sim::{Machine, MachineConfig};
-use stagger_compiler::{compile, CompileStats};
+use stagger_compiler::{compile, CompileStats, Compiled};
 use stagger_core::{Mode, RuntimeConfig};
-use tm_interp::{run_workload, RunOutcome, ThreadPlan};
+use std::sync::Arc;
+use std::time::Instant;
+use tm_interp::{run_workload_prepared, Prepared, RunOutcome, ThreadPlan};
 
 /// Result of one benchmark run.
 #[derive(Debug, Clone)]
@@ -14,12 +21,130 @@ pub struct BenchResult {
     pub n_threads: usize,
     pub out: RunOutcome,
     pub compile_stats: CompileStats,
+    /// Host wall-clock seconds spent simulating this run (setup through
+    /// validation) — the simulator's own throughput, not a paper metric.
+    pub host_secs: f64,
 }
 
 impl BenchResult {
     /// Simulated execution time in cycles.
     pub fn cycles(&self) -> u64 {
         self.out.sim.exec_cycles
+    }
+
+    /// Dynamic instructions executed across all simulated cores.
+    pub fn sim_insts(&self) -> u64 {
+        self.out.exec.insts
+    }
+
+    /// Simulated instructions per host second — the simulator's throughput
+    /// on this run.
+    pub fn insts_per_sec(&self) -> f64 {
+        if self.host_secs > 0.0 {
+            self.sim_insts() as f64 / self.host_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A workload compiled and flattened once, reusable (and shareable across
+/// harness threads) for any number of runs. Compilation and
+/// [`Prepared::build`] are the per-run setup costs that do not depend on
+/// mode, thread count, or seed — hoisting them out turns an
+/// every-configuration cost into a per-workload one.
+pub struct PreparedWorkload<'w> {
+    w: &'w dyn Workload,
+    compiled: Arc<Compiled>,
+    prepared: Arc<Prepared>,
+}
+
+impl<'w> PreparedWorkload<'w> {
+    /// Compile and flatten `w` once.
+    pub fn new(w: &'w dyn Workload) -> PreparedWorkload<'w> {
+        let module = w.build_module();
+        let compiled = Arc::new(compile(&module));
+        let prepared = Arc::new(Prepared::build(&compiled));
+        PreparedWorkload {
+            w,
+            compiled,
+            prepared,
+        }
+    }
+
+    pub fn workload(&self) -> &'w dyn Workload {
+        self.w
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.w.name()
+    }
+
+    pub fn compile_stats(&self) -> &CompileStats {
+        &self.compiled.stats
+    }
+
+    /// Run on `n_threads` simulated cores in `mode` with default machine
+    /// and runtime configuration.
+    pub fn run(&self, mode: Mode, n_threads: usize, seed: u64) -> BenchResult {
+        self.run_cfg(
+            seed,
+            MachineConfig::with_cores(n_threads),
+            RuntimeConfig::with_mode(mode),
+        )
+    }
+
+    /// Run with explicit machine and runtime configuration (ablations:
+    /// lazy protocol, PC-tag width, lock timeouts, policy thresholds...).
+    ///
+    /// # Panics
+    /// Panics if the workload's post-run validation fails — a validation
+    /// failure means the HTM or runtime broke serializability, which is
+    /// never acceptable.
+    pub fn run_cfg(
+        &self,
+        seed: u64,
+        machine_cfg: MachineConfig,
+        rt_cfg: RuntimeConfig,
+    ) -> BenchResult {
+        let started = Instant::now();
+        let mode = rt_cfg.mode;
+        let n_threads = machine_cfg.n_cores;
+        let machine = Machine::new(machine_cfg);
+        let thread_args = self.w.setup(&machine, n_threads);
+        assert_eq!(thread_args.len(), n_threads);
+        let tm = self.compiled.module.expect("thread_main");
+        let plans: Vec<ThreadPlan> = thread_args
+            .iter()
+            .map(|args| ThreadPlan {
+                func: tm,
+                args: args.clone(),
+            })
+            .collect();
+        let out = run_workload_prepared(
+            &machine,
+            &self.compiled,
+            &self.prepared,
+            &rt_cfg,
+            &plans,
+            seed,
+        );
+        if let Err(e) = self.w.validate(&machine, &thread_args, &out) {
+            panic!(
+                "{} [{} x{}]: invariant violated: {e}",
+                self.w.name(),
+                mode.name(),
+                n_threads
+            );
+        }
+        BenchResult {
+            name: self.w.name(),
+            mode,
+            n_threads,
+            out,
+            compile_stats: self.compiled.stats.clone(),
+            host_secs: started.elapsed().as_secs_f64(),
+        }
     }
 }
 
@@ -48,37 +173,7 @@ pub fn run_benchmark_cfg(
     machine_cfg: MachineConfig,
     rt_cfg: RuntimeConfig,
 ) -> BenchResult {
-    let mode = rt_cfg.mode;
-    let n_threads = machine_cfg.n_cores;
-    let module = w.build_module();
-    let compiled = compile(&module);
-    let machine = Machine::new(machine_cfg);
-    let thread_args = w.setup(&machine, n_threads);
-    assert_eq!(thread_args.len(), n_threads);
-    let tm = compiled.module.expect("thread_main");
-    let plans: Vec<ThreadPlan> = thread_args
-        .iter()
-        .map(|args| ThreadPlan {
-            func: tm,
-            args: args.clone(),
-        })
-        .collect();
-    let out = run_workload(&machine, &compiled, &rt_cfg, &plans, seed);
-    if let Err(e) = w.validate(&machine, &thread_args, &out) {
-        panic!(
-            "{} [{} x{}]: invariant violated: {e}",
-            w.name(),
-            mode.name(),
-            n_threads
-        );
-    }
-    BenchResult {
-        name: w.name(),
-        mode,
-        n_threads,
-        out,
-        compile_stats: compiled.stats.clone(),
-    }
+    PreparedWorkload::new(w).run_cfg(seed, machine_cfg, rt_cfg)
 }
 
 /// Speedup of `result` relative to a sequential (1-thread) run of the same

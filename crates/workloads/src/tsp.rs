@@ -77,7 +77,7 @@ impl Workload for Tsp {
         let last_i = b.subi(sz, 1);
         let last = b.load_idx(heap, last_i, 2);
         b.store(last_i, heap, 0); // size -= 1
-        // Sift the moved-up last element down from the root.
+                                  // Sift the moved-up last element down from the root.
         let hole = b.const_(0);
         let val = b.mov(last);
         let n = b.mov(last_i); // new size
@@ -219,14 +219,13 @@ impl Workload for Tsp {
     }
 
     fn setup(&self, machine: &Machine, n_threads: usize) -> Vec<Vec<u64>> {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x747370);
+        let mut rng = stagger_prng::Xoshiro256StarStar::seed_from_u64(0x747370);
         let heap = machine.host_alloc(2 + self.heap_capacity, true);
         machine.host_store(heap + 8, self.heap_capacity);
         // Host-side heapify by sorted insert (ascending values are already
         // a valid min-heap).
         let mut tasks: Vec<u64> = (0..self.initial_tasks)
-            .map(|_| rng.random_range(1..1_000_000))
+            .map(|_| rng.gen_range(1, 1_000_000))
             .collect();
         tasks.sort_unstable();
         machine.host_store(heap, self.initial_tasks);

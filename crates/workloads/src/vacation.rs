@@ -213,14 +213,12 @@ impl Workload for Vacation {
     }
 
     fn setup(&self, machine: &Machine, n_threads: usize) -> Vec<Vec<u64>> {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x76616361);
+        let mut rng = stagger_prng::Xoshiro256StarStar::seed_from_u64(0x76616361);
 
         let mut build_tree = |seed_shift: u64| -> u64 {
             let rel = machine.host_alloc(1, true);
             let mut keys: Vec<u64> = (0..self.n_relations).collect();
-            keys.shuffle(&mut rng);
+            rng.shuffle(&mut keys);
             let _ = seed_shift;
             for &k in &keys {
                 let node = machine.host_alloc(8, true);

@@ -101,7 +101,10 @@ fn main() {
     let (v2, apc2, cyc2, ab2) = run(Mode::Staggered, rounds);
 
     println!("                      eager HTM      Staggered");
-    println!("final counter       {v1:>11}    {v2:>11}   (both exactly {} - serializable)", 3 * rounds);
+    println!(
+        "final counter       {v1:>11}    {v2:>11}   (both exactly {} - serializable)",
+        3 * rounds
+    );
     println!("aborts              {ab1:>11}    {ab2:>11}");
     println!("aborts/commit       {apc1:>11.2}    {apc2:>11.2}");
     println!("execution cycles    {cyc1:>11}    {cyc2:>11}");

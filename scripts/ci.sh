@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Offline CI gate for the reproduction.
+#
+#   scripts/ci.sh
+#
+# Steps: format check, release build (workspace root + exhibit binaries),
+# tier-1 tests, workspace tests, and a parallel-harness smoke run of
+# fig7 --quick whose output (including the machine-readable
+# results/BENCH_fig7.json) is recorded under results/.
+#
+# Everything runs with --offline: the workspace has no external
+# dependencies by design, and CI must not depend on a registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release (workspace root)"
+cargo build --release --offline
+
+echo "== cargo build --release -p stagger-bench (exhibit binaries)"
+cargo build --release --offline -p stagger-bench
+
+echo "== cargo test -q (tier-1)"
+cargo test -q --offline
+
+echo "== cargo test -q --workspace"
+cargo test -q --offline --workspace
+
+echo "== fig7 --quick --jobs 2 --json (harness smoke)"
+mkdir -p results
+./target/release/fig7 --quick --jobs 2 --json | tee results/ci_fig7_quick.txt
+
+echo "== ci.sh: all gates passed"
