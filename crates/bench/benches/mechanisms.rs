@@ -10,7 +10,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use htm_sim::{Machine, MachineConfig};
+use htm_sim::{body, Machine, MachineConfig};
 use stagger_compiler::compile;
 use stagger_core::{
     activate_alpoint, ABContext, AbortHistory, Mode, PolicyConfig, RuntimeConfig, SharedRt,
@@ -107,13 +107,14 @@ fn bench_locks() {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut htm_sim::Core| {
+        machine.run(vec![body(move |mut core| async move {
             for i in 0..100u64 {
                 let w = shared
                     .locks
-                    .acquire(core, 0x1000 + i * 64, 1000, 30)
+                    .acquire(&mut core, 0x1000 + i * 64, 1000, 30)
+                    .await
                     .unwrap();
-                shared.locks.release(core, w);
+                shared.locks.release(&mut core, w).await;
             }
         })]);
     });

@@ -11,10 +11,16 @@
 //!   "seed": 2015, "wall_secs": 12.3, "total_sim_insts": 45600000,
 //!   "insts_per_sec": 3700000.0,
 //!   "runs": [ { "workload": "genome", "mode": "htm", "threads": 16,
-//!               "sim_cycles": 1, "sim_insts": 2, "host_secs": 0.5,
-//!               "insts_per_sec": 4.0 }, ... ]
+//!               "sim_cycles": 1, "sim_insts": 2, "gated_ops": 1,
+//!               "host_secs": 0.5, "insts_per_sec": 4.0,
+//!               "ns_per_inst": 250000000.0 }, ... ]
 //! }
 //! ```
+//!
+//! `gated_ops` counts the shared-memory operations admitted through the
+//! simulator's scheduler gate and `ns_per_inst` is host nanoseconds per
+//! simulated instruction — both scheduler-overhead observability, not
+//! paper metrics.
 
 use crate::{Measured, Opts};
 use htm_sim::MachineConfig;
@@ -32,6 +38,8 @@ pub struct RunRecord {
     pub threads: usize,
     pub sim_cycles: u64,
     pub sim_insts: u64,
+    /// Shared-memory ops admitted through the scheduler gate.
+    pub gated_ops: u64,
     pub host_secs: f64,
 }
 
@@ -39,6 +47,15 @@ impl RunRecord {
     pub fn insts_per_sec(&self) -> f64 {
         if self.host_secs > 0.0 {
             self.sim_insts as f64 / self.host_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Host nanoseconds spent per simulated instruction.
+    pub fn ns_per_inst(&self) -> f64 {
+        if self.sim_insts > 0 {
+            self.host_secs * 1e9 / self.sim_insts as f64
         } else {
             0.0
         }
@@ -72,6 +89,7 @@ impl Report {
             threads: r.n_threads,
             sim_cycles: r.cycles(),
             sim_insts: r.sim_insts(),
+            gated_ops: r.gated_ops(),
             host_secs: r.host_secs,
         });
     }
@@ -143,15 +161,18 @@ impl Report {
         for (i, r) in recs.iter().enumerate() {
             s.push_str(&format!(
                 "    {{ \"workload\": {}, \"mode\": {}, \"threads\": {}, \
-                 \"sim_cycles\": {}, \"sim_insts\": {}, \"host_secs\": {:.6}, \
-                 \"insts_per_sec\": {:.1} }}{}\n",
+                 \"sim_cycles\": {}, \"sim_insts\": {}, \"gated_ops\": {}, \
+                 \"host_secs\": {:.6}, \"insts_per_sec\": {:.1}, \
+                 \"ns_per_inst\": {:.2} }}{}\n",
                 json_str(r.workload),
                 json_str(r.mode),
                 r.threads,
                 r.sim_cycles,
                 r.sim_insts,
+                r.gated_ops,
                 r.host_secs,
                 r.insts_per_sec(),
+                r.ns_per_inst(),
                 if i + 1 < recs.len() { "," } else { "" },
             ));
         }
@@ -243,6 +264,7 @@ mod tests {
             threads: 4,
             sim_cycles: 10,
             sim_insts: 20,
+            gated_ops: 7,
             host_secs: 2.0,
         });
         rep.records.lock().unwrap().push(RunRecord {
@@ -251,6 +273,7 @@ mod tests {
             threads: 4,
             sim_cycles: 1,
             sim_insts: 2,
+            gated_ops: 1,
             host_secs: 0.5,
         });
         let j = rep.to_json();
@@ -261,6 +284,9 @@ mod tests {
         assert!(j.contains("\"total_sim_insts\": 22"));
         // insts_per_sec per run: 20 / 2.0 = 10.0
         assert!(j.contains("\"insts_per_sec\": 10.0"));
+        assert!(j.contains("\"gated_ops\": 7"));
+        // ns_per_inst for zeta: 2.0 s * 1e9 / 20 = 1e8
+        assert!(j.contains("\"ns_per_inst\": 100000000.00"));
     }
 
     #[test]

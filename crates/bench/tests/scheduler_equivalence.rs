@@ -1,0 +1,65 @@
+//! The tentpole invariant of the cooperative scheduler: for every
+//! workload, the single-threaded cooperative driver and the legacy
+//! thread-per-core driver produce *byte-identical* simulations — same
+//! per-core statistics, same execution cycles, same begin/commit/abort
+//! traces. The schedulers may only differ in host-side mechanics, never
+//! in what the simulated machine does.
+
+use htm_sim::{Machine, MachineConfig, Scheduler};
+use stagger_bench::workload_set;
+use stagger_core::{Mode, RuntimeConfig};
+use workloads::PreparedWorkload;
+
+/// Run one prepared workload under the given scheduler and return
+/// everything the simulation produced: stats snapshot, traces, thread
+/// return values.
+fn run_under(
+    p: &PreparedWorkload,
+    scheduler: Scheduler,
+    mode: Mode,
+    threads: usize,
+    seed: u64,
+) -> (htm_sim::SimStats, Vec<Vec<htm_sim::TraceEvent>>, Vec<u64>) {
+    let mut mcfg = MachineConfig::with_cores(threads);
+    mcfg.scheduler = scheduler;
+    mcfg.record_trace = true;
+    let machine = Machine::new(mcfg);
+    let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), seed);
+    (machine.stats(), machine.take_trace(), r.out.returns)
+}
+
+/// All ten workloads (`--quick` configs), both contended modes, both
+/// schedulers: stats and traces must match exactly.
+#[test]
+fn cooperative_and_threaded_schedulers_are_bit_identical() {
+    let set = workload_set(true);
+    assert_eq!(set.len(), 10);
+    for w in &set {
+        let p = PreparedWorkload::new(w.as_ref());
+        for mode in [Mode::Htm, Mode::Staggered] {
+            let coop = run_under(&p, Scheduler::Cooperative, mode, 4, 2015);
+            let thr = run_under(&p, Scheduler::Threaded, mode, 4, 2015);
+            assert_eq!(
+                coop.0,
+                thr.0,
+                "{} [{}]: per-core stats diverged across schedulers",
+                w.name(),
+                mode.name()
+            );
+            assert_eq!(
+                coop.1,
+                thr.1,
+                "{} [{}]: traces diverged across schedulers",
+                w.name(),
+                mode.name()
+            );
+            assert_eq!(
+                coop.2,
+                thr.2,
+                "{} [{}]: thread return values diverged across schedulers",
+                w.name(),
+                mode.name()
+            );
+        }
+    }
+}

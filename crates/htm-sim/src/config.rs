@@ -17,6 +17,21 @@ pub enum HtmProtocol {
     Lazy,
 }
 
+/// Host-side driver for the simulated cores. Both schedulers realize the
+/// same simulated semantics — ops execute in increasing (logical clock,
+/// core id) order — so results are bit-identical; they differ only in host
+/// cost. See the `machine` module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Single host thread; an event loop resumes the minimum-clock core.
+    /// No OS threads, no condvar handoffs — the default.
+    #[default]
+    Cooperative,
+    /// One OS thread per simulated core, gated by a mutex + condvars (the
+    /// original driver; kept for cross-scheduler equivalence testing).
+    Threaded,
+}
+
 /// Configuration of the simulated machine.
 ///
 /// Defaults mirror Table 2 of the paper:
@@ -74,6 +89,11 @@ pub struct MachineConfig {
     /// Record per-core transaction begin/commit/abort events with their
     /// logical timestamps (for the timeline renderer in [`crate::trace`]).
     pub record_trace: bool,
+    /// Host-side core driver. Purely a host-performance knob: simulated
+    /// cycles, stats and traces are identical across schedulers. The
+    /// `HTM_SIM_SCHEDULER` environment variable (`cooperative`/`threads`)
+    /// overrides this at [`crate::Machine::new`].
+    pub scheduler: Scheduler,
 }
 
 impl Default for MachineConfig {
@@ -99,6 +119,7 @@ impl Default for MachineConfig {
             pc_tag_bits: 12,
             protocol: HtmProtocol::Eager,
             record_trace: false,
+            scheduler: Scheduler::Cooperative,
         }
     }
 }

@@ -26,10 +26,14 @@
 //!
 //! ## Determinism
 //!
-//! Simulated cores run on OS threads, but every shared-state operation is
-//! *gated*: a core may act only when its logical clock is the minimum over
-//! all unfinished cores (ties broken by core id). Given the same seeds, a
-//! run is bit-for-bit reproducible regardless of host scheduling — the
+//! Each simulated core is a resumable program (an `async` body), and every
+//! shared-state operation is *gated*: a core may act only when its logical
+//! clock is the minimum over all unfinished cores (ties broken by core
+//! id). By default a single-threaded cooperative event loop resumes the
+//! minimum-clock core — no OS threads or condvar handoffs per simulated
+//! core; a thread-per-core driver with identical semantics is kept behind
+//! [`config::Scheduler::Threaded`]. Given the same seeds, a run is
+//! bit-for-bit reproducible regardless of host scheduling or driver — the
 //! simulated analogue of the paper pinning worker threads to cores.
 
 pub mod addr;
@@ -42,8 +46,8 @@ pub mod stats;
 pub mod trace;
 
 pub use addr::{line_addr, line_of, Addr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
-pub use config::{HtmProtocol, MachineConfig};
+pub use config::{HtmProtocol, MachineConfig, Scheduler};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use machine::{Core, Machine};
+pub use machine::{body, Core, CoreBody, CoreFn, Machine};
 pub use sim::{AbortCause, AbortInfo, TraceEvent, TraceKind, TxError};
 pub use stats::{CoreStats, SimStats};

@@ -1,20 +1,40 @@
 //! The machine façade: deterministic scheduling of simulated cores and the
 //! per-core operation API.
 //!
-//! Each simulated core runs on an OS thread, but all shared-state operations
-//! go through the core's gate: the calling core blocks until its logical
-//! clock is the global minimum (ties by core id), performs the operation
-//! under the machine mutex, advances its clock by the operation's latency,
-//! and wakes whichever core becomes eligible next. The resulting simulated
-//! interleaving is a pure function of the program and its seeds — the same
-//! run is bit-for-bit reproducible, like the paper's MARSSx86 runs with
-//! threads pinned to cores.
+//! Each simulated core is a *resumable program*: an `async` body suspended
+//! at every gated shared-state operation. A core's gate admits the
+//! operation only when the core's logical clock is the global minimum over
+//! unfinished cores (ties by core id), so ops execute in increasing
+//! (clock, id) order and the simulated interleaving is a pure function of
+//! the program and its seeds — bit-for-bit reproducible, like the paper's
+//! MARSSx86 runs with threads pinned to cores.
+//!
+//! Two host-side drivers realize that order (see
+//! [`Scheduler`](crate::config::Scheduler)):
+//!
+//! * **Cooperative** (default): a single host thread runs a plain event
+//!   loop — pick the minimum-clock core, poll its program until it either
+//!   finishes or stops being the minimum. No OS threads per core, no
+//!   condvar handoffs; the per-op cost is one uncontended mutex
+//!   acquisition, and a core that stays minimal executes arbitrarily many
+//!   consecutive ops in one resumption.
+//! * **Threaded**: one OS thread per core; a core whose gate finds it
+//!   ineligible parks on its condvar and is woken by the op that makes it
+//!   the minimum. This was the original driver; it is kept for the
+//!   cross-scheduler equivalence suite and pays a futex round-trip per
+//!   handoff.
+//!
+//! Because both drivers admit ops in exactly the same (clock, id) order,
+//! simulated cycles, statistics and traces are identical between them.
 
 use crate::addr::Addr;
-use crate::config::MachineConfig;
-use crate::sim::{AbortCause, SimState, TxError};
+use crate::config::{MachineConfig, Scheduler};
+use crate::sim::{AbortCause, SimState, TraceEvent, TxError};
 use crate::stats::SimStats;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
 
 struct Shared {
     state: Mutex<SimState>,
@@ -24,10 +44,26 @@ struct Shared {
 impl Shared {
     /// Lock the simulator state. A panic on one simulated core poisons the
     /// mutex; recovering the guard keeps the remaining cores' teardown
-    /// deterministic (the panic itself still propagates through the scope).
+    /// deterministic (the panic itself still propagates out of `run`).
     fn lock(&self) -> MutexGuard<'_, SimState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// A suspended simulated-core program, resumable at every gated operation.
+pub type CoreBody<'m> = Pin<Box<dyn Future<Output = ()> + Send + 'm>>;
+
+/// Builds one core's program from its [`Core`] handle.
+pub type CoreFn<'m> = Box<dyn FnOnce(Core<'m>) -> CoreBody<'m> + Send + 'm>;
+
+/// Box an async core body into the form [`Machine::run`] accepts:
+/// `machine.run(vec![body(|mut c| async move { ... })])`.
+pub fn body<'m, F, Fut>(f: F) -> CoreFn<'m>
+where
+    F: FnOnce(Core<'m>) -> Fut + Send + 'm,
+    Fut: Future<Output = ()> + Send + 'm,
+{
+    Box::new(move |core| Box::pin(f(core)) as CoreBody<'m>)
 }
 
 /// A simulated multicore machine with HTM.
@@ -37,7 +73,12 @@ pub struct Machine {
 }
 
 impl Machine {
-    pub fn new(cfg: MachineConfig) -> Machine {
+    pub fn new(mut cfg: MachineConfig) -> Machine {
+        match std::env::var("HTM_SIM_SCHEDULER").as_deref() {
+            Ok("threads" | "threaded") => cfg.scheduler = Scheduler::Threaded,
+            Ok("coop" | "cooperative" | "single") => cfg.scheduler = Scheduler::Cooperative,
+            _ => {}
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(SimState::new(cfg.clone())),
             cvs: (0..cfg.n_cores).map(|_| Condvar::new()).collect(),
@@ -49,47 +90,112 @@ impl Machine {
         &self.cfg
     }
 
-    /// Run one closure per simulated core to completion. Closures execute
-    /// on real threads; every simulated operation is deterministically
-    /// ordered by logical time. May be called once per machine.
-    pub fn run(&self, bodies: Vec<Box<dyn FnOnce(&mut Core) + Send + '_>>) {
+    /// Run one program per simulated core to completion; every simulated
+    /// operation is deterministically ordered by logical time. May be
+    /// called once per machine.
+    pub fn run<'m>(&'m self, bodies: Vec<CoreFn<'m>>) {
         assert_eq!(
             bodies.len(),
             self.cfg.n_cores,
             "need exactly one body per core"
         );
+        match self.cfg.scheduler {
+            Scheduler::Cooperative => self.run_cooperative(bodies),
+            Scheduler::Threaded => self.run_threaded(bodies),
+        }
+    }
+
+    /// The default driver: a single-threaded event loop that resumes the
+    /// minimum-clock core. A resumed program runs ops for as long as it
+    /// remains the minimum and suspends (without any syscall) as soon as
+    /// its gate finds another core eligible.
+    fn run_cooperative<'m>(&'m self, bodies: Vec<CoreFn<'m>>) {
+        let mut programs: Vec<Option<CoreBody<'m>>> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(tid, mk)| {
+                Some(mk(Core {
+                    shared: &self.shared,
+                    tid,
+                    pending: 0,
+                    last_clock: 0,
+                }))
+            })
+            .collect();
+        let mut cx = Context::from_waker(Waker::noop());
+        let mut next = self.shared.lock().next_eligible();
+        while let Some(n) = next {
+            let prog = programs[n].as_mut().expect("eligible core has a program");
+            let ready = prog.as_mut().poll(&mut cx).is_ready();
+            if ready {
+                programs[n] = None;
+            }
+            next = self.shared.lock().next_eligible();
+            if !ready && next == Some(n) {
+                // A gate never suspends while its core is eligible, so a
+                // pending program that is still the minimum awaited some
+                // foreign future — which this executor cannot wake.
+                panic!("core {n} suspended while eligible: body awaited a non-gate future");
+            }
+        }
+    }
+
+    /// The original driver: one OS thread per core. A pending program
+    /// parks on its condvar until the gate of another core (or a finishing
+    /// core) makes it the minimum and wakes it.
+    fn run_threaded<'m>(&'m self, bodies: Vec<CoreFn<'m>>) {
         std::thread::scope(|s| {
-            for (tid, body) in bodies.into_iter().enumerate() {
-                let shared = &self.shared;
+            for (tid, mk) in bodies.into_iter().enumerate() {
+                let shared = &*self.shared;
                 s.spawn(move || {
-                    let mut core = Core {
+                    let mut prog = mk(Core {
                         shared,
                         tid,
                         pending: 0,
                         last_clock: 0,
-                    };
-                    body(&mut core);
-                    core.finish();
+                    });
+                    let mut cx = Context::from_waker(Waker::noop());
+                    while prog.as_mut().poll(&mut cx).is_pending() {
+                        let mut st = shared.lock();
+                        loop {
+                            match st.next_eligible() {
+                                Some(n) if n == tid => break,
+                                Some(_) => {
+                                    st.cores[tid].waiting = true;
+                                    st =
+                                        shared.cvs[tid].wait(st).unwrap_or_else(|e| e.into_inner());
+                                    st.cores[tid].waiting = false;
+                                }
+                                None => unreachable!("running core cannot be finished"),
+                            }
+                        }
+                    }
                 });
             }
         });
     }
 
-    /// Convenience: run the same closure on every core (receives the core).
-    pub fn run_uniform<F>(&self, f: F)
+    /// Convenience: run the same async body on every core (receives the
+    /// core handle). The closure is shared, so values it moves into the
+    /// body must be `Copy` (or clone inside).
+    pub fn run_uniform<'m, F, Fut>(&'m self, f: F)
     where
-        F: Fn(&mut Core) + Send + Sync,
+        F: Fn(Core<'m>) -> Fut + Send + Sync + 'm,
+        Fut: Future<Output = ()> + Send + 'm,
     {
-        let bodies: Vec<Box<dyn FnOnce(&mut Core) + Send + '_>> = (0..self.cfg.n_cores)
+        let f = Arc::new(f);
+        let bodies: Vec<CoreFn<'m>> = (0..self.cfg.n_cores)
             .map(|_| {
-                let f = &f;
-                Box::new(move |c: &mut Core| f(c)) as Box<dyn FnOnce(&mut Core) + Send>
+                let f = Arc::clone(&f);
+                Box::new(move |c: Core<'m>| Box::pin(f(c)) as CoreBody<'m>) as CoreFn<'m>
             })
             .collect();
         self.run(bodies);
     }
 
-    /// Statistics snapshot (meaningful after `run` returns).
+    /// Statistics snapshot (meaningful after `run` returns). The per-core
+    /// counters are fixed-size scalar structs, so a snapshot is cheap; the
+    /// unbounded per-core data (traces) moves out via [`Machine::take_trace`].
     pub fn stats(&self) -> SimStats {
         let st = self.shared.lock();
         let cores = st
@@ -105,11 +211,16 @@ impl Machine {
         SimStats { cores, exec_cycles }
     }
 
-    /// Per-core begin/commit/abort event traces (empty unless
-    /// [`MachineConfig::record_trace`] was set).
-    pub fn trace(&self) -> Vec<Vec<crate::sim::TraceEvent>> {
-        let st = self.shared.lock();
-        st.cores.iter().map(|c| c.trace.clone()).collect()
+    /// Move out the per-core begin/commit/abort event traces (empty unless
+    /// [`MachineConfig::record_trace`] was set). Consuming: a second call
+    /// returns empty traces — the event vectors are unbounded, so they are
+    /// taken rather than cloned.
+    pub fn take_trace(&self) -> Vec<Vec<TraceEvent>> {
+        let mut st = self.shared.lock();
+        st.cores
+            .iter_mut()
+            .map(|c| std::mem::take(&mut c.trace))
+            .collect()
     }
 
     /// Host-side allocation for setup (no simulated cycles).
@@ -128,7 +239,9 @@ impl Machine {
     }
 }
 
-/// Handle through which one simulated core issues operations.
+/// Handle through which one simulated core issues operations. Owned by the
+/// core's program; dropping it (body completion or unwind) marks the core
+/// finished so the remaining cores keep running deterministically.
 pub struct Core<'m> {
     shared: &'m Shared,
     tid: usize,
@@ -139,7 +252,7 @@ pub struct Core<'m> {
     last_clock: u64,
 }
 
-impl Core<'_> {
+impl<'m> Core<'m> {
     /// This core's id.
     pub fn tid(&self) -> usize {
         self.tid
@@ -157,83 +270,76 @@ impl Core<'_> {
     }
 
     /// Perform `f` on the shared state at this core's logical turn; `f`
-    /// returns `(result, latency)`.
-    fn gate<R>(&mut self, f: impl FnOnce(&mut SimState, usize) -> (R, u64)) -> R {
-        let tid = self.tid;
-        let mut st = self.shared.lock();
-        st.cores[tid].clock += self.pending;
-        self.pending = 0;
-        loop {
+    /// returns `(result, latency)`. Each poll folds pending compute cycles
+    /// (idempotent — they reset to zero) and either runs the op, if this
+    /// core is the minimum, or suspends after waking an eligible parked
+    /// core (threaded driver only; cooperative cores never set `waiting`,
+    /// so no notification syscall is issued there).
+    fn gate<'a, R, F>(&'a mut self, f: F) -> impl Future<Output = R> + Send + use<'a, 'm, R, F>
+    where
+        F: FnOnce(&mut SimState, usize) -> (R, u64) + Send + 'a,
+    {
+        let mut f = Some(f);
+        std::future::poll_fn(move |_cx| {
+            let tid = self.tid;
+            let mut st = self.shared.lock();
+            st.cores[tid].clock += self.pending;
+            self.pending = 0;
             match st.next_eligible() {
-                Some(n) if n == tid => break,
+                Some(n) if n == tid => {}
                 Some(n) => {
                     // Our arrival may have shifted the minimum to a parked
-                    // core — wake it before we sleep.
+                    // core — wake it before we suspend.
                     if st.cores[n].waiting {
                         self.shared.cvs[n].notify_one();
                     }
-                    st.cores[tid].waiting = true;
-                    st = self.shared.cvs[tid]
-                        .wait(st)
-                        .unwrap_or_else(|e| e.into_inner());
-                    st.cores[tid].waiting = false;
+                    return Poll::Pending;
                 }
                 None => unreachable!("calling core cannot be finished"),
             }
-        }
-        let (r, lat) = f(&mut st, tid);
-        st.cores[tid].clock += lat;
-        self.last_clock = st.cores[tid].clock;
-        if let Some(n) = st.next_eligible() {
-            if n != tid && st.cores[n].waiting {
-                self.shared.cvs[n].notify_one();
+            st.cores[tid].stats.gated_ops += 1;
+            let (r, lat) = (f.take().expect("gate op polled after completion"))(&mut st, tid);
+            st.cores[tid].clock += lat;
+            self.last_clock = st.cores[tid].clock;
+            if let Some(n) = st.next_eligible() {
+                if n != tid && st.cores[n].waiting {
+                    self.shared.cvs[n].notify_one();
+                }
             }
-        }
-        r
-    }
-
-    fn finish(&mut self) {
-        let tid = self.tid;
-        let mut st = self.shared.lock();
-        st.cores[tid].clock += self.pending;
-        self.pending = 0;
-        st.cores[tid].finished = true;
-        self.last_clock = st.cores[tid].clock;
-        if let Some(n) = st.next_eligible() {
-            if st.cores[n].waiting {
-                self.shared.cvs[n].notify_one();
-            }
-        }
+            Poll::Ready(r)
+        })
     }
 
     // ----- transactional API ---------------------------------------------
 
     /// Begin a hardware transaction for atomic block `ab_id`.
-    pub fn tx_begin(&mut self, ab_id: u32) {
-        self.gate(|st, tid| ((), st.tx_begin(tid, ab_id)));
+    pub async fn tx_begin(&mut self, ab_id: u32) {
+        self.gate(|st, tid| ((), st.tx_begin(tid, ab_id))).await
     }
 
     /// Transactional load at instruction address `pc`.
-    pub fn tx_load(&mut self, addr: Addr, pc: u64) -> Result<u64, TxError> {
-        self.gate(|st, tid| st.tx_load(tid, addr, pc))
+    pub async fn tx_load(&mut self, addr: Addr, pc: u64) -> Result<u64, TxError> {
+        self.gate(|st, tid| st.tx_load(tid, addr, pc)).await
     }
 
     /// Transactional store at instruction address `pc`.
-    pub fn tx_store(&mut self, addr: Addr, val: u64, pc: u64) -> Result<(), TxError> {
-        self.gate(|st, tid| st.tx_store(tid, addr, val, pc))
+    pub async fn tx_store(&mut self, addr: Addr, val: u64, pc: u64) -> Result<(), TxError> {
+        self.gate(|st, tid| st.tx_store(tid, addr, val, pc)).await
     }
 
     /// Attempt to commit.
-    pub fn tx_commit(&mut self) -> Result<(), TxError> {
-        self.gate(|st, tid| st.tx_commit(tid))
+    pub async fn tx_commit(&mut self) -> Result<(), TxError> {
+        self.gate(|st, tid| st.tx_commit(tid)).await
     }
 
     /// Explicitly abort the active transaction (runtime-initiated).
-    pub fn tx_abort(&mut self) -> TxError {
+    pub async fn tx_abort(&mut self) -> TxError {
         self.gate(|st, tid| (st.self_abort(tid, AbortCause::Explicit), 0))
+            .await
     }
 
     /// Is a transaction currently active (not yet observed-doomed)?
+    /// Reads only this core's own state, so it needs no gating.
     pub fn tx_active(&mut self) -> bool {
         let tid = self.tid;
         self.shared.lock().tx_active(tid)
@@ -248,68 +354,91 @@ impl Core<'_> {
     // ----- nontransactional API --------------------------------------------
 
     /// Nontransactional load (escapes isolation; never aborts anyone).
-    pub fn nt_load(&mut self, addr: Addr) -> u64 {
-        self.gate(|st, tid| st.nt_load(tid, addr))
+    pub async fn nt_load(&mut self, addr: Addr) -> u64 {
+        self.gate(|st, tid| st.nt_load(tid, addr)).await
     }
 
     /// Plain non-speculative load (outside transactions / irrevocable
     /// mode): dooms speculative writers of the line so uncommitted data is
     /// never observed.
-    pub fn plain_load(&mut self, addr: Addr) -> u64 {
-        self.gate(|st, tid| st.plain_load(tid, addr))
+    pub async fn plain_load(&mut self, addr: Addr) -> u64 {
+        self.gate(|st, tid| st.plain_load(tid, addr)).await
     }
 
     /// Plain non-speculative store — identical coherence behaviour to
     /// [`Core::nt_store`] (dooms all speculative owners of the line).
-    pub fn plain_store(&mut self, addr: Addr, val: u64) {
-        self.nt_store(addr, val)
+    pub async fn plain_store(&mut self, addr: Addr, val: u64) {
+        self.nt_store(addr, val).await
     }
 
     /// Nontransactional store (immediately visible; aborts conflicting
     /// speculative owners on other cores).
-    pub fn nt_store(&mut self, addr: Addr, val: u64) {
-        self.gate(|st, tid| ((), st.nt_store(tid, addr, val)));
+    pub async fn nt_store(&mut self, addr: Addr, val: u64) {
+        self.gate(|st, tid| ((), st.nt_store(tid, addr, val))).await
     }
 
     /// Nontransactional compare-and-swap.
-    pub fn nt_cas(&mut self, addr: Addr, old: u64, new: u64) -> bool {
-        self.gate(|st, tid| st.nt_cas(tid, addr, old, new))
+    pub async fn nt_cas(&mut self, addr: Addr, old: u64, new: u64) -> bool {
+        self.gate(|st, tid| st.nt_cas(tid, addr, old, new)).await
     }
 
     // ----- services ---------------------------------------------------------
 
     /// Allocate `words` from this core's arena.
-    pub fn alloc(&mut self, words: u64, line_align: bool) -> Addr {
-        self.gate(|st, tid| st.alloc(tid, words, line_align))
+    pub async fn alloc(&mut self, words: u64, line_align: bool) -> Addr {
+        self.gate(|st, tid| st.alloc(tid, words, line_align)).await
     }
 
     /// Charge advisory-lock wait cycles (runtime bookkeeping: advances the
     /// clock like `compute` and records the amount in the core's stats).
-    pub fn charge_lock_wait(&mut self, cycles: u64) {
+    pub async fn charge_lock_wait(&mut self, cycles: u64) {
         self.compute(cycles);
         self.gate(move |st, tid| {
             st.cores[tid].stats.lock_wait_cycles += cycles;
             ((), 0)
-        });
+        })
+        .await
     }
 
     /// Charge retry-backoff cycles.
-    pub fn charge_backoff(&mut self, cycles: u64) {
+    pub async fn charge_backoff(&mut self, cycles: u64) {
         self.compute(cycles);
         self.gate(move |st, tid| {
             st.cores[tid].stats.backoff_cycles += cycles;
             ((), 0)
-        });
+        })
+        .await
     }
 
     /// Record an irrevocable (global-lock) execution: `cycles` spent and
     /// one irrevocable commit.
-    pub fn record_irrevocable(&mut self, cycles: u64) {
+    pub async fn record_irrevocable(&mut self, cycles: u64) {
         self.gate(move |st, tid| {
             st.cores[tid].stats.irrevocable_cycles += cycles;
             st.cores[tid].stats.irrevocable_commits += 1;
             ((), 0)
-        });
+        })
+        .await
+    }
+}
+
+impl Drop for Core<'_> {
+    /// Retire the core: fold any pending compute cycles, mark it finished,
+    /// and wake whichever core becomes the minimum. Running this on drop
+    /// (rather than after a normal body return) also retires cores whose
+    /// bodies unwound, so a panic on one core cannot park the rest forever.
+    fn drop(&mut self) {
+        let tid = self.tid;
+        let mut st = self.shared.lock();
+        st.cores[tid].clock += self.pending;
+        self.pending = 0;
+        st.cores[tid].finished = true;
+        self.last_clock = st.cores[tid].clock;
+        if let Some(n) = st.next_eligible() {
+            if st.cores[n].waiting {
+                self.shared.cvs[n].notify_one();
+            }
+        }
     }
 }
 
@@ -318,74 +447,96 @@ mod tests {
     use super::*;
     use crate::sim::AbortCause;
 
-    fn machine(n: usize) -> Machine {
-        Machine::new(MachineConfig::small(n))
+    /// Every test runs under both drivers via this helper, so the suite
+    /// exercises scheduler equivalence at the unit level too.
+    fn machines(n: usize) -> [Machine; 2] {
+        let mut threaded = MachineConfig::small(n);
+        threaded.scheduler = Scheduler::Threaded;
+        [
+            Machine::new(MachineConfig::small(n)),
+            Machine::new(threaded),
+        ]
     }
 
     #[test]
     fn single_thread_counter() {
-        let m = machine(1);
-        let a = m.host_alloc(8, true);
-        m.run(vec![Box::new(move |c: &mut Core| {
-            for _ in 0..10 {
-                c.tx_begin(0);
-                let v = c.tx_load(a, 0x400).unwrap();
-                c.tx_store(a, v + 1, 0x404).unwrap();
-                c.tx_commit().unwrap();
-            }
-        })]);
-        assert_eq!(m.host_load(a), 10);
-        let st = m.stats();
-        assert_eq!(st.aggregate().commits, 10);
-        assert_eq!(st.aggregate().aborts(), 0);
-        assert!(st.exec_cycles > 0);
+        for m in machines(1) {
+            let a = m.host_alloc(8, true);
+            m.run(vec![body(move |mut c| async move {
+                for _ in 0..10 {
+                    c.tx_begin(0).await;
+                    let v = c.tx_load(a, 0x400).await.unwrap();
+                    c.tx_store(a, v + 1, 0x404).await.unwrap();
+                    c.tx_commit().await.unwrap();
+                }
+            })]);
+            assert_eq!(m.host_load(a), 10);
+            let st = m.stats();
+            assert_eq!(st.aggregate().commits, 10);
+            assert_eq!(st.aggregate().aborts(), 0);
+            assert!(st.exec_cycles > 0);
+            // begin + load + store + commit, 10 iterations.
+            assert_eq!(st.aggregate().gated_ops, 40);
+        }
     }
 
     #[test]
     fn concurrent_counter_is_serializable() {
         // 4 cores × 50 increments with retry loops: the final value must be
         // exactly 200 — the fundamental HTM correctness property.
-        let m = machine(4);
-        let a = m.host_alloc(8, true);
-        m.run_uniform(|c| {
-            for _ in 0..50 {
-                loop {
-                    c.tx_begin(0);
-                    let r = (|| {
-                        let v = c.tx_load(a, 0x400)?;
-                        c.compute(20); // widen the conflict window
-                        c.tx_store(a, v + 1, 0x404)?;
-                        Ok::<_, TxError>(())
-                    })();
-                    match r.and_then(|()| c.tx_commit()) {
-                        Ok(()) => break,
-                        Err(_) => continue,
+        for m in machines(4) {
+            let a = m.host_alloc(8, true);
+            m.run_uniform(move |mut c| async move {
+                for _ in 0..50 {
+                    loop {
+                        c.tx_begin(0).await;
+                        let r = match c.tx_load(a, 0x400).await {
+                            Ok(v) => {
+                                c.compute(20); // widen the conflict window
+                                c.tx_store(a, v + 1, 0x404).await
+                            }
+                            Err(e) => Err(e),
+                        };
+                        let committed = match r {
+                            Ok(()) => c.tx_commit().await.is_ok(),
+                            Err(_) => false,
+                        };
+                        if committed {
+                            break;
+                        }
                     }
                 }
-            }
-        });
-        assert_eq!(m.host_load(a), 200);
-        let agg = m.stats().aggregate();
-        assert_eq!(agg.commits, 200);
-        assert!(agg.aborts() > 0, "contended counter must abort sometimes");
+            });
+            assert_eq!(m.host_load(a), 200);
+            let agg = m.stats().aggregate();
+            assert_eq!(agg.commits, 200);
+            assert!(agg.aborts() > 0, "contended counter must abort sometimes");
+        }
     }
 
     #[test]
-    fn determinism_across_runs() {
-        let run_once = || {
-            let m = machine(4);
+    fn determinism_across_runs_and_schedulers() {
+        let run_once = |scheduler: Scheduler| {
+            let mut cfg = MachineConfig::small(4);
+            cfg.scheduler = scheduler;
+            let m = Machine::new(cfg);
             let a = m.host_alloc(8, true);
-            m.run_uniform(|c| {
+            m.run_uniform(move |mut c| async move {
                 for i in 0..30u64 {
                     loop {
-                        c.tx_begin(0);
-                        let r = (|| {
-                            let v = c.tx_load(a, 0x400)?;
-                            c.compute((c.tid() as u64) * 7 + i % 5);
-                            c.tx_store(a, v + 1, 0x404)?;
-                            Ok::<_, TxError>(())
-                        })();
-                        if r.and_then(|()| c.tx_commit()).is_ok() {
+                        c.tx_begin(0).await;
+                        let r = match c.tx_load(a, 0x400).await {
+                            Ok(v) => {
+                                c.compute((c.tid() as u64) * 7 + i % 5);
+                                c.tx_store(a, v + 1, 0x404).await
+                            }
+                            Err(e) => Err(e),
+                        };
+                        let committed = match r {
+                            Ok(()) => c.tx_commit().await.is_ok(),
+                            Err(_) => false,
+                        };
+                        if committed {
                             break;
                         }
                     }
@@ -395,132 +546,143 @@ mod tests {
             (
                 st.exec_cycles,
                 st.aggregate().aborts(),
+                st.aggregate().gated_ops,
                 st.cores.iter().map(|c| c.total_cycles).collect::<Vec<_>>(),
             )
         };
-        let a = run_once();
-        let b = run_once();
+        let a = run_once(Scheduler::Cooperative);
+        let b = run_once(Scheduler::Cooperative);
         assert_eq!(a, b, "simulation must be bit-for-bit deterministic");
+        let c = run_once(Scheduler::Threaded);
+        assert_eq!(a, c, "schedulers must produce identical simulations");
     }
 
     #[test]
     fn disjoint_lines_never_conflict() {
-        let m = machine(4);
-        let base = m.host_alloc(8 * 8 * 4, true);
-        m.run_uniform(move |c| {
-            let a = base + (c.tid() as u64) * 64;
-            for _ in 0..25 {
-                c.tx_begin(0);
-                let v = c.tx_load(a, 0).unwrap();
-                c.tx_store(a, v + 1, 0).unwrap();
-                c.tx_commit().unwrap();
-            }
-        });
-        let agg = m.stats().aggregate();
-        assert_eq!(agg.commits, 100);
-        assert_eq!(agg.aborts(), 0);
+        for m in machines(4) {
+            let base = m.host_alloc(8 * 8 * 4, true);
+            m.run_uniform(move |mut c| async move {
+                let a = base + (c.tid() as u64) * 64;
+                for _ in 0..25 {
+                    c.tx_begin(0).await;
+                    let v = c.tx_load(a, 0).await.unwrap();
+                    c.tx_store(a, v + 1, 0).await.unwrap();
+                    c.tx_commit().await.unwrap();
+                }
+            });
+            let agg = m.stats().aggregate();
+            assert_eq!(agg.commits, 100);
+            assert_eq!(agg.aborts(), 0);
+        }
     }
 
     #[test]
     fn nt_cas_lock_mutual_exclusion() {
         // An advisory-lock-style spinlock built from NT CAS protects a
         // plain (nontransactional) counter.
-        let m = machine(4);
-        let lock = m.host_alloc(8, true);
-        let counter = m.host_alloc(8, true);
-        m.run_uniform(move |c| {
-            for _ in 0..25 {
-                while !c.nt_cas(lock, 0, (c.tid() + 1) as u64) {
-                    c.compute(20);
+        for m in machines(4) {
+            let lock = m.host_alloc(8, true);
+            let counter = m.host_alloc(8, true);
+            m.run_uniform(move |mut c| async move {
+                for _ in 0..25 {
+                    while !c.nt_cas(lock, 0, (c.tid() + 1) as u64).await {
+                        c.compute(20);
+                    }
+                    let v = c.nt_load(counter).await;
+                    c.compute(5);
+                    c.nt_store(counter, v + 1).await;
+                    c.nt_store(lock, 0).await;
                 }
-                let v = c.nt_load(counter);
-                c.compute(5);
-                c.nt_store(counter, v + 1);
-                c.nt_store(lock, 0);
-            }
-        });
-        assert_eq!(m.host_load(counter), 100);
+            });
+            assert_eq!(m.host_load(counter), 100);
+        }
     }
 
     #[test]
     fn advisory_lock_inside_transaction() {
         // The paper's core mechanism: acquire an NT lock inside an active
         // transaction; serialized sections stop aborting each other.
-        let m = machine(4);
-        let lock = m.host_alloc(8, true);
-        let data = m.host_alloc(8, true);
-        m.run_uniform(move |c| {
-            for _ in 0..20 {
-                loop {
-                    c.tx_begin(0);
-                    // Advisory lock acquire via NT CAS, inside the txn.
-                    let mut spins = 0u64;
-                    while !c.nt_cas(lock, 0, (c.tid() + 1) as u64) {
-                        c.charge_lock_wait(30);
-                        spins += 1;
-                        if spins > 10_000 {
-                            break; // timeout: proceed without the lock
+        for m in machines(4) {
+            let lock = m.host_alloc(8, true);
+            let data = m.host_alloc(8, true);
+            m.run_uniform(move |mut c| async move {
+                for _ in 0..20 {
+                    loop {
+                        c.tx_begin(0).await;
+                        // Advisory lock acquire via NT CAS, inside the txn.
+                        let mut spins = 0u64;
+                        while !c.nt_cas(lock, 0, (c.tid() + 1) as u64).await {
+                            c.charge_lock_wait(30).await;
+                            spins += 1;
+                            if spins > 10_000 {
+                                break; // timeout: proceed without the lock
+                            }
+                        }
+                        let r = match c.tx_load(data, 0x100).await {
+                            Ok(v) => {
+                                c.compute(30);
+                                c.tx_store(data, v + 1, 0x104).await
+                            }
+                            Err(e) => Err(e),
+                        };
+                        let committed = match r {
+                            Ok(()) => c.tx_commit().await.is_ok(),
+                            Err(_) => false,
+                        };
+                        // Release even on abort, as the runtime does.
+                        c.nt_store(lock, 0).await;
+                        if committed {
+                            break;
                         }
                     }
-                    let r = (|| {
-                        let v = c.tx_load(data, 0x100)?;
-                        c.compute(30);
-                        c.tx_store(data, v + 1, 0x104)?;
-                        Ok::<_, TxError>(())
-                    })();
-                    let committed = r.and_then(|()| c.tx_commit()).is_ok();
-                    // Release even on abort, as the runtime does.
-                    c.nt_store(lock, 0);
-                    if committed {
-                        break;
-                    }
                 }
-            }
-        });
-        assert_eq!(m.host_load(data), 80);
-        let agg = m.stats().aggregate();
-        assert_eq!(agg.commits, 80);
-        // Staggered by the advisory lock: conflicts should be rare.
-        assert!(
-            agg.aborts() <= 8,
-            "advisory lock should nearly eliminate aborts, got {}",
-            agg.aborts()
-        );
-        assert!(agg.lock_wait_cycles > 0);
+            });
+            assert_eq!(m.host_load(data), 80);
+            let agg = m.stats().aggregate();
+            assert_eq!(agg.commits, 80);
+            // Staggered by the advisory lock: conflicts should be rare.
+            assert!(
+                agg.aborts() <= 8,
+                "advisory lock should nearly eliminate aborts, got {}",
+                agg.aborts()
+            );
+            assert!(agg.lock_wait_cycles > 0);
+        }
     }
 
     #[test]
     fn explicit_abort_counts() {
-        let m = machine(1);
-        let a = m.host_alloc(8, true);
-        m.run(vec![Box::new(move |c: &mut Core| {
-            assert_eq!(c.tx_ab_id(), None);
-            c.tx_begin(0);
-            assert_eq!(c.tx_ab_id(), Some(0));
-            c.tx_store(a, 5, 0).unwrap();
-            let e = c.tx_abort();
-            assert_eq!(e.info().cause, AbortCause::Explicit);
-        })]);
-        assert_eq!(m.host_load(a), 0, "aborted write must roll back");
-        assert_eq!(m.stats().aggregate().explicit_aborts, 1);
+        for m in machines(1) {
+            let a = m.host_alloc(8, true);
+            m.run(vec![body(move |mut c| async move {
+                assert_eq!(c.tx_ab_id(), None);
+                c.tx_begin(0).await;
+                assert_eq!(c.tx_ab_id(), Some(0));
+                c.tx_store(a, 5, 0).await.unwrap();
+                let e = c.tx_abort().await;
+                assert_eq!(e.info().cause, AbortCause::Explicit);
+            })]);
+            assert_eq!(m.host_load(a), 0, "aborted write must roll back");
+            assert_eq!(m.stats().aggregate().explicit_aborts, 1);
+        }
     }
 
     #[test]
     fn alloc_in_threads_disjoint() {
-        let m = machine(4);
-        let out = m.host_alloc(8 * 4, true);
-        m.run_uniform(move |c| {
-            let p = c.alloc(8, true);
-            c.nt_store(p, c.tid() as u64 + 100);
-            c.nt_store(out + (c.tid() as u64) * 8, p);
-        });
-        let mut ptrs: Vec<u64> = (0..4).map(|i| m.host_load(out + i * 8)).collect();
-        ptrs.sort();
-        ptrs.dedup();
-        assert_eq!(ptrs.len(), 4, "allocations must not alias");
-        for (i, &p) in (0..4).zip(ptrs.iter()) {
-            let _ = i;
-            assert!(m.host_load(p) >= 100);
+        for m in machines(4) {
+            let out = m.host_alloc(8 * 4, true);
+            m.run_uniform(move |mut c| async move {
+                let p = c.alloc(8, true).await;
+                c.nt_store(p, c.tid() as u64 + 100).await;
+                c.nt_store(out + (c.tid() as u64) * 8, p).await;
+            });
+            let mut ptrs: Vec<u64> = (0..4).map(|i| m.host_load(out + i * 8)).collect();
+            ptrs.sort();
+            ptrs.dedup();
+            assert_eq!(ptrs.len(), 4, "allocations must not alias");
+            for &p in ptrs.iter() {
+                assert!(m.host_load(p) >= 100);
+            }
         }
     }
 
@@ -529,38 +691,54 @@ mod tests {
         // A core that does tiny ops and one that does huge computes: total
         // time is driven by the slow core, and the fast core should not be
         // starved (its ops happen "during" the slow core's computes).
-        let m = machine(2);
-        let a = m.host_alloc(16, true);
-        m.run(vec![
-            Box::new(move |c: &mut Core| {
-                for _ in 0..100 {
-                    c.nt_store(a, c.now());
-                }
-            }),
-            Box::new(move |c: &mut Core| {
-                for _ in 0..5 {
-                    c.compute(10_000);
-                    c.nt_store(a + 8, c.now());
-                }
-            }),
-        ]);
-        let st = m.stats();
-        assert!(st.cores[1].total_cycles >= 50_000);
-        assert!(st.cores[0].total_cycles < st.cores[1].total_cycles);
+        for m in machines(2) {
+            let a = m.host_alloc(16, true);
+            m.run(vec![
+                body(move |mut c| async move {
+                    for _ in 0..100 {
+                        let now = c.now();
+                        c.nt_store(a, now).await;
+                    }
+                }),
+                body(move |mut c| async move {
+                    for _ in 0..5 {
+                        c.compute(10_000);
+                        let now = c.now();
+                        c.nt_store(a + 8, now).await;
+                    }
+                }),
+            ]);
+            let st = m.stats();
+            assert!(st.cores[1].total_cycles >= 50_000);
+            assert!(st.cores[0].total_cycles < st.cores[1].total_cycles);
+        }
     }
 
     #[test]
     fn stats_snapshot_exec_cycles_is_max() {
-        let m = machine(2);
-        m.run(vec![
-            Box::new(|c: &mut Core| c.compute(100)),
-            Box::new(|c: &mut Core| c.compute(500)),
-        ]);
-        let st = m.stats();
-        assert_eq!(
-            st.exec_cycles,
-            st.cores.iter().map(|c| c.total_cycles).max().unwrap()
-        );
-        assert_eq!(st.exec_cycles, 500);
+        for m in machines(2) {
+            m.run(vec![
+                body(|mut c| async move { c.compute(100) }),
+                body(|mut c| async move { c.compute(500) }),
+            ]);
+            let st = m.stats();
+            assert_eq!(
+                st.exec_cycles,
+                st.cores.iter().map(|c| c.total_cycles).max().unwrap()
+            );
+            assert_eq!(st.exec_cycles, 500);
+        }
+    }
+
+    #[test]
+    fn env_var_overrides_scheduler() {
+        // Env mutation is process-global; a Machine::new racing this window
+        // merely runs threaded, which is semantically equivalent.
+        std::env::set_var("HTM_SIM_SCHEDULER", "threads");
+        let m = Machine::new(MachineConfig::small(1));
+        std::env::remove_var("HTM_SIM_SCHEDULER");
+        assert_eq!(m.config().scheduler, Scheduler::Threaded);
+        let m = Machine::new(MachineConfig::small(1));
+        assert_eq!(m.config().scheduler, Scheduler::Cooperative);
     }
 }

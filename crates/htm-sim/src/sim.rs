@@ -662,7 +662,7 @@ impl SimState {
             self.cores[tid]
                 .tx
                 .as_ref()
-                .map_or(true, |t| !t.spec_contains(line)),
+                .is_none_or(|t| !t.spec_contains(line)),
             "NT store to own speculative line {line:#x}"
         );
         self.resolve_conflicts(tid, addr, true);

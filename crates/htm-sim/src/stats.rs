@@ -2,7 +2,7 @@
 //! 7/8.
 
 /// Per-core counters, all in simulated cycles / event counts.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Committed hardware transactions.
     pub commits: u64,
@@ -30,6 +30,11 @@ pub struct CoreStats {
     pub tx_mem_ops: u64,
     /// Dynamic count of nontransactional memory operations.
     pub nt_mem_ops: u64,
+    /// Gated (globally ordered) operations the core issued — each one was
+    /// a mutex+condvar handoff under the threaded scheduler and is a plain
+    /// uncontended lock under the cooperative one. Scheduler-overhead
+    /// observability, not a paper metric.
+    pub gated_ops: u64,
 }
 
 impl CoreStats {
@@ -52,11 +57,12 @@ impl CoreStats {
         self.total_cycles = self.total_cycles.max(o.total_cycles);
         self.tx_mem_ops += o.tx_mem_ops;
         self.nt_mem_ops += o.nt_mem_ops;
+        self.gated_ops += o.gated_ops;
     }
 }
 
 /// Whole-machine statistics snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     pub cores: Vec<CoreStats>,
     /// Execution time: the maximum core clock at the end of the run.
@@ -139,10 +145,12 @@ mod tests {
 
     #[test]
     fn aborts_per_commit_counts_irrevocable() {
-        let mut c = CoreStats::default();
-        c.commits = 8;
-        c.irrevocable_commits = 2;
-        c.conflict_aborts = 5;
+        let c = CoreStats {
+            commits: 8,
+            irrevocable_commits: 2,
+            conflict_aborts: 5,
+            ..Default::default()
+        };
         let s = stats_with(vec![c], 100);
         assert!((s.aborts_per_commit() - 0.5).abs() < 1e-12);
     }
@@ -158,12 +166,16 @@ mod tests {
 
     #[test]
     fn aggregate_sums_and_maxes() {
-        let mut a = CoreStats::default();
-        a.commits = 3;
-        a.total_cycles = 50;
-        let mut b = CoreStats::default();
-        b.commits = 4;
-        b.total_cycles = 80;
+        let a = CoreStats {
+            commits: 3,
+            total_cycles: 50,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            commits: 4,
+            total_cycles: 80,
+            ..Default::default()
+        };
         let s = stats_with(vec![a, b], 80);
         let t = s.aggregate();
         assert_eq!(t.commits, 7);
@@ -172,9 +184,11 @@ mod tests {
 
     #[test]
     fn wasted_over_useful_ratio() {
-        let mut c = CoreStats::default();
-        c.useful_tx_cycles = 100;
-        c.wasted_tx_cycles = 250;
+        let c = CoreStats {
+            useful_tx_cycles: 100,
+            wasted_tx_cycles: 250,
+            ..Default::default()
+        };
         let s = stats_with(vec![c], 1000);
         assert!((s.wasted_over_useful() - 2.5).abs() < 1e-12);
     }

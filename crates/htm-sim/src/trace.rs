@@ -107,34 +107,36 @@ mod tests {
 
     #[test]
     fn machine_records_when_enabled() {
-        use crate::{Core, Machine, MachineConfig};
+        use crate::{body, Machine, MachineConfig};
         let mut cfg = MachineConfig::small(1);
         cfg.record_trace = true;
         let m = Machine::new(cfg);
         let a = m.host_alloc(8, true);
-        m.run(vec![Box::new(move |c: &mut Core| {
-            c.tx_begin(3);
-            c.tx_store(a, 1, 0).unwrap();
-            c.tx_commit().unwrap();
+        m.run(vec![body(move |mut c| async move {
+            c.tx_begin(3).await;
+            c.tx_store(a, 1, 0).await.unwrap();
+            c.tx_commit().await.unwrap();
         })]);
-        let traces = m.trace();
+        let traces = m.take_trace();
         assert_eq!(traces.len(), 1);
         assert_eq!(traces[0].len(), 2);
         assert!(matches!(traces[0][0].kind, TraceKind::Begin(3)));
         assert!(matches!(traces[0][1].kind, TraceKind::Commit));
         assert!(traces[0][1].clock >= traces[0][0].clock);
+        // Consuming: the events moved out above.
+        assert!(m.take_trace()[0].is_empty());
     }
 
     #[test]
     fn machine_skips_recording_by_default() {
-        use crate::{Core, Machine, MachineConfig};
+        use crate::{body, Machine, MachineConfig};
         let m = Machine::new(MachineConfig::small(1));
         let a = m.host_alloc(8, true);
-        m.run(vec![Box::new(move |c: &mut Core| {
-            c.tx_begin(0);
-            c.tx_store(a, 1, 0).unwrap();
-            c.tx_commit().unwrap();
+        m.run(vec![body(move |mut c| async move {
+            c.tx_begin(0).await;
+            c.tx_store(a, 1, 0).await.unwrap();
+            c.tx_commit().await.unwrap();
         })]);
-        assert!(m.trace()[0].is_empty());
+        assert!(m.take_trace()[0].is_empty());
     }
 }

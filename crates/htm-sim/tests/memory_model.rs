@@ -1,7 +1,7 @@
 //! Randomized tests for the simulated machine's memory model, driven by a
 //! fixed-seed in-tree PRNG so every run checks the same cases.
 
-use htm_sim::{Core, Machine, MachineConfig};
+use htm_sim::{body, Machine, MachineConfig};
 use stagger_prng::Xoshiro256StarStar;
 use std::collections::HashMap;
 
@@ -40,20 +40,20 @@ fn single_core_matches_reference_model() {
         let mut model: HashMap<u64, u64> = HashMap::new();
 
         let ops2 = ops.clone();
-        machine.run(vec![Box::new(move |c: &mut Core| {
+        machine.run(vec![body(move |mut c| async move {
             for op in &ops2 {
                 match op {
-                    Op::NtStore(a, v) => c.nt_store(*a, *v),
+                    Op::NtStore(a, v) => c.nt_store(*a, *v).await,
                     Op::NtLoad(a) => {
-                        let _ = c.nt_load(*a);
+                        let _ = c.nt_load(*a).await;
                     }
                     Op::Txn(rmws) => {
-                        c.tx_begin(0);
+                        c.tx_begin(0).await;
                         for (a, d) in rmws {
-                            let v = c.tx_load(*a, 0x400).unwrap();
-                            c.tx_store(*a, v + d, 0x404).unwrap();
+                            let v = c.tx_load(*a, 0x400).await.unwrap();
+                            c.tx_store(*a, v + d, 0x404).await.unwrap();
                         }
-                        c.tx_commit().unwrap();
+                        c.tx_commit().await.unwrap();
                     }
                 }
             }
@@ -88,13 +88,13 @@ fn disjoint_lines_always_commit() {
         let incs = rng.gen_range(1, 20);
         let machine = Machine::new(MachineConfig::small(n_threads));
         let base = machine.host_alloc(n_threads as u64 * 8, true);
-        machine.run_uniform(|c| {
+        machine.run_uniform(move |mut c| async move {
             let a = base + c.tid() as u64 * 64;
             for _ in 0..incs {
-                c.tx_begin(0);
-                let v = c.tx_load(a, 0).unwrap();
-                c.tx_store(a, v + 1, 0).unwrap();
-                c.tx_commit().unwrap();
+                c.tx_begin(0).await;
+                let v = c.tx_load(a, 0).await.unwrap();
+                c.tx_store(a, v + 1, 0).await.unwrap();
+                c.tx_commit().await.unwrap();
             }
         });
         let agg = machine.stats().aggregate();
@@ -123,17 +123,22 @@ fn contended_counter_is_exact() {
         };
         let machine = Machine::new(cfg);
         let a = machine.host_alloc(8, true);
-        machine.run_uniform(|c| {
+        machine.run_uniform(move |mut c| async move {
             for _ in 0..incs {
                 loop {
-                    c.tx_begin(0);
-                    let r = (|| {
-                        let v = c.tx_load(a, 0x100)?;
-                        c.compute(pad);
-                        c.tx_store(a, v + 1, 0x104)?;
-                        Ok::<_, htm_sim::TxError>(())
-                    })();
-                    if r.and_then(|()| c.tx_commit()).is_ok() {
+                    c.tx_begin(0).await;
+                    let r = match c.tx_load(a, 0x100).await {
+                        Ok(v) => {
+                            c.compute(pad);
+                            c.tx_store(a, v + 1, 0x104).await
+                        }
+                        Err(e) => Err(e),
+                    };
+                    let committed = match r {
+                        Ok(()) => c.tx_commit().await.is_ok(),
+                        Err(_) => false,
+                    };
+                    if committed {
                         break;
                     }
                 }

@@ -42,16 +42,17 @@ impl LockTable {
 
     /// Try to acquire the lock for `addr` once (no spinning). Returns the
     /// lock word address on success.
-    pub fn try_acquire(&self, core: &mut Core, addr: Addr) -> Option<Addr> {
+    pub async fn try_acquire(&self, core: &mut Core<'_>, addr: Addr) -> Option<Addr> {
         let word = self.lock_addr_for(addr);
-        core.nt_cas(word, 0, core.tid() as u64 + 1).then_some(word)
+        let me = core.tid() as u64 + 1;
+        core.nt_cas(word, 0, me).await.then_some(word)
     }
 
     /// Mark a lock word as contended (a waiter spun on it). The flag lives
     /// in the second word of the lock's line, so it costs no extra lines.
-    fn mark_contended(core: &mut Core, word: Addr) {
-        if core.nt_load(word + 8) == 0 {
-            core.nt_store(word + 8, 1);
+    async fn mark_contended(core: &mut Core<'_>, word: Addr) {
+        if core.nt_load(word + 8).await == 0 {
+            core.nt_store(word + 8, 1).await;
         }
     }
 
@@ -61,9 +62,9 @@ impl LockTable {
     /// correctness is the HTM's job).
     ///
     /// Wait time is charged to the core's `lock_wait_cycles`.
-    pub fn acquire(
+    pub async fn acquire(
         &self,
-        core: &mut Core,
+        core: &mut Core<'_>,
         addr: Addr,
         timeout_cycles: u64,
         spin_quantum: u64,
@@ -72,14 +73,14 @@ impl LockTable {
         let me = core.tid() as u64 + 1;
         let mut waited = 0u64;
         loop {
-            if core.nt_cas(word, 0, me) {
+            if core.nt_cas(word, 0, me).await {
                 return Some(word);
             }
-            Self::mark_contended(core, word);
+            Self::mark_contended(core, word).await;
             if waited >= timeout_cycles {
                 return None;
             }
-            core.charge_lock_wait(spin_quantum);
+            core.charge_lock_wait(spin_quantum).await;
             waited += spin_quantum;
         }
     }
@@ -88,13 +89,16 @@ impl LockTable {
     /// other thread contended for the lock while we held it (consumed:
     /// the flag is cleared) — the paper's "no contention on that lock"
     /// test for appending an empty history record.
-    pub fn release(&self, core: &mut Core, word: Addr) -> bool {
-        debug_assert_eq!(core.nt_load(word), core.tid() as u64 + 1);
-        let contended = core.nt_load(word + 8) != 0;
-        if contended {
-            core.nt_store(word + 8, 0);
+    pub async fn release(&self, core: &mut Core<'_>, word: Addr) -> bool {
+        if cfg!(debug_assertions) {
+            let owner = core.nt_load(word).await;
+            debug_assert_eq!(owner, core.tid() as u64 + 1);
         }
-        core.nt_store(word, 0);
+        let contended = core.nt_load(word + 8).await != 0;
+        if contended {
+            core.nt_store(word + 8, 0).await;
+        }
+        core.nt_store(word, 0).await;
         contended
     }
 }
@@ -124,27 +128,30 @@ impl GlobalLock {
     }
 
     /// Blocking acquire (nontransactional; used only outside transactions).
-    pub fn acquire(&self, core: &mut Core, spin_quantum: u64) {
+    pub async fn acquire(&self, core: &mut Core<'_>, spin_quantum: u64) {
         let me = core.tid() as u64 + 1;
-        while !core.nt_cas(self.word, 0, me) {
-            core.charge_lock_wait(spin_quantum);
+        while !core.nt_cas(self.word, 0, me).await {
+            core.charge_lock_wait(spin_quantum).await;
         }
     }
 
-    pub fn release(&self, core: &mut Core) {
-        debug_assert_eq!(core.nt_load(self.word), core.tid() as u64 + 1);
-        core.nt_store(self.word, 0);
+    pub async fn release(&self, core: &mut Core<'_>) {
+        if cfg!(debug_assertions) {
+            let owner = core.nt_load(self.word).await;
+            debug_assert_eq!(owner, core.tid() as u64 + 1);
+        }
+        core.nt_store(self.word, 0).await;
     }
 
     /// Is the lock currently held? (NT read.)
-    pub fn is_held(&self, core: &mut Core) -> bool {
-        core.nt_load(self.word) != 0
+    pub async fn is_held(&self, core: &mut Core<'_>) -> bool {
+        core.nt_load(self.word).await != 0
     }
 
     /// Spin (nontransactionally) until the lock is free.
-    pub fn wait_until_free(&self, core: &mut Core, spin_quantum: u64) {
-        while core.nt_load(self.word) != 0 {
-            core.charge_lock_wait(spin_quantum);
+    pub async fn wait_until_free(&self, core: &mut Core<'_>, spin_quantum: u64) {
+        while core.nt_load(self.word).await != 0 {
+            core.charge_lock_wait(spin_quantum).await;
         }
     }
 }
@@ -152,7 +159,7 @@ impl GlobalLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htm_sim::MachineConfig;
+    use htm_sim::{body, MachineConfig};
 
     #[test]
     fn same_line_same_lock_distinct_lines_spread() {
@@ -173,11 +180,17 @@ mod tests {
     fn acquire_release_roundtrip() {
         let m = Machine::new(MachineConfig::small(1));
         let t = LockTable::new(&m, 16);
-        m.run(vec![Box::new(move |c: &mut Core| {
-            let w = t.acquire(c, 5000, 100_000, 30).expect("uncontended");
-            assert!(t.try_acquire(c, 5000).is_none(), "held lock busy");
-            t.release(c, w);
-            assert!(t.try_acquire(c, 5000).is_some());
+        m.run(vec![body(move |mut c| async move {
+            let w = t
+                .acquire(&mut c, 5000, 100_000, 30)
+                .await
+                .expect("uncontended");
+            assert!(
+                t.try_acquire(&mut c, 5000).await.is_none(),
+                "held lock busy"
+            );
+            t.release(&mut c, w).await;
+            assert!(t.try_acquire(&mut c, 5000).await.is_some());
         })]);
     }
 
@@ -187,17 +200,17 @@ mod tests {
         let t = LockTable::new(&m, 16);
         let flag = m.host_alloc(8, true);
         m.run(vec![
-            Box::new(move |c: &mut Core| {
-                let _w = t.acquire(c, 5000, 100_000, 30).unwrap();
-                c.nt_store(flag, 1);
+            body(move |mut c| async move {
+                let _w = t.acquire(&mut c, 5000, 100_000, 30).await.unwrap();
+                c.nt_store(flag, 1).await;
                 // Hold it "forever" relative to the other thread's timeout.
                 c.compute(500_000);
             }),
-            Box::new(move |c: &mut Core| {
-                while c.nt_load(flag) == 0 {
+            body(move |mut c| async move {
+                while c.nt_load(flag).await == 0 {
                     c.compute(50);
                 }
-                let r = t.acquire(c, 5000, 1_000, 30);
+                let r = t.acquire(&mut c, 5000, 1_000, 30).await;
                 assert!(r.is_none(), "must time out and proceed without lock");
             }),
         ]);
@@ -213,31 +226,31 @@ mod tests {
         let ready = m.host_alloc(8, true);
         m.run(vec![
             // Irrevocable thread: take the lock, mutate, release.
-            Box::new(move |c: &mut Core| {
-                gl.acquire(c, 30);
-                c.nt_store(ready, 1);
+            body(move |mut c| async move {
+                gl.acquire(&mut c, 30).await;
+                c.nt_store(ready, 1).await;
                 c.compute(2_000);
-                c.nt_store(data, 99);
-                gl.release(c);
+                c.nt_store(data, 99).await;
+                gl.release(&mut c).await;
             }),
             // Transactional thread: begins while the lock is held; commit
             // subscription must observe it.
-            Box::new(move |c: &mut Core| {
-                while c.nt_load(ready) == 0 {
+            body(move |mut c| async move {
+                while c.nt_load(ready).await == 0 {
                     c.compute(20);
                 }
-                c.tx_begin(0);
-                let _ = c.tx_load(data, 0x100);
+                c.tx_begin(0).await;
+                let _ = c.tx_load(data, 0x100).await;
                 // Subscribe: lock is held, so the correct move is to abort.
-                let held = c.tx_load(gl.addr(), 0x104);
+                let held = c.tx_load(gl.addr(), 0x104).await;
                 match held {
                     Ok(v) if v != 0 => {
-                        let _ = c.tx_abort();
+                        let _ = c.tx_abort().await;
                     }
                     Ok(_) => {
                         // Lock free at subscription: but our read of `data`
                         // may have been doomed by the NT store.
-                        let _ = c.tx_commit();
+                        let _ = c.tx_commit().await;
                     }
                     Err(_) => {}
                 }
@@ -251,17 +264,17 @@ mod tests {
         let m = Machine::new(MachineConfig::small(4));
         let t = LockTable::new(&m, 16);
         let counter = m.host_alloc(8, true);
-        m.run_uniform(move |c| {
+        m.run_uniform(move |mut c| async move {
             for _ in 0..30 {
                 let w = loop {
-                    if let Some(w) = t.acquire(c, counter, 1 << 30, 25) {
+                    if let Some(w) = t.acquire(&mut c, counter, 1 << 30, 25).await {
                         break w;
                     }
                 };
-                let v = c.nt_load(counter);
+                let v = c.nt_load(counter).await;
                 c.compute(7);
-                c.nt_store(counter, v + 1);
-                t.release(c, w);
+                c.nt_store(counter, v + 1).await;
+                t.release(&mut c, w).await;
             }
         });
         assert_eq!(m.host_load(counter), 120);

@@ -275,7 +275,7 @@ impl<'c> ThreadRuntime<'c> {
 
     /// Called right after `tx_begin`: restores the instance activation and
     /// performs the AddrOnly block-start acquisition if configured.
-    pub fn txn_start(&mut self, core: &mut Core, ab_id: u32) {
+    pub async fn txn_start(&mut self, core: &mut Core<'_>, ab_id: u32) {
         if self.cfg.mode == Mode::Htm {
             return;
         }
@@ -301,7 +301,7 @@ impl<'c> ThreadRuntime<'c> {
             } = ctx.activation
             {
                 ctx.active_anchor = 0;
-                self.acquire_lock_for(core, addr);
+                self.acquire_lock_for(core, addr).await;
             }
         }
     }
@@ -310,12 +310,18 @@ impl<'c> ThreadRuntime<'c> {
     /// the interpreter at each `AlPoint` instruction with the data address
     /// of the following access. `in_txn` is false when the containing
     /// function is called outside any transaction (the ALP is inert then).
-    pub fn alpoint(&mut self, core: &mut Core, ab_id: u32, anchor: u32, addr: Addr, in_txn: bool) {
-        match self.cfg.mode {
-            // Baseline: the paper's HTM bars run the *uninstrumented*
-            // binary, so ALPs cost nothing at all.
-            Mode::Htm => return,
-            _ => {}
+    pub async fn alpoint(
+        &mut self,
+        core: &mut Core<'_>,
+        ab_id: u32,
+        anchor: u32,
+        addr: Addr,
+        in_txn: bool,
+    ) {
+        // Baseline: the paper's HTM bars run the *uninstrumented* binary,
+        // so ALPs cost nothing at all.
+        if self.cfg.mode == Mode::Htm {
+            return;
         }
         self.stats.alps_executed += 1;
         core.compute(self.cfg.alp_inactive_cost);
@@ -331,7 +337,7 @@ impl<'c> ThreadRuntime<'c> {
         }
         let ctx = self.ctx_mut(ab_id);
         if ctx.active_anchor == anchor && ctx.address_matches(addr) {
-            self.acquire_lock_for(core, addr);
+            self.acquire_lock_for(core, addr).await;
             // With the paper's configuration (max_locks_per_txn = 1) the
             // anchor is consumed after the first acquisition; the
             // multi-lock extension keeps it active until the budget is
@@ -342,7 +348,7 @@ impl<'c> ThreadRuntime<'c> {
         }
     }
 
-    fn acquire_lock_for(&mut self, core: &mut Core, addr: Addr) {
+    async fn acquire_lock_for(&mut self, core: &mut Core<'_>, addr: Addr) {
         if self.held_locks.len() >= self.cfg.max_locks_per_txn {
             return;
         }
@@ -355,12 +361,13 @@ impl<'c> ThreadRuntime<'c> {
             self.shared
                 .locks
                 .acquire(core, addr, self.cfg.lock_timeout, self.cfg.lock_spin)
+                .await
         } else {
             // Additional locks: non-blocking only — two transactions each
             // holding one lock and trying for the other's can then never
             // deadlock; the loser simply proceeds unprotected (advisory
             // semantics make that safe).
-            self.shared.locks.try_acquire(core, addr)
+            self.shared.locks.try_acquire(core, addr).await
         };
         match got {
             Some(w) => {
@@ -375,14 +382,14 @@ impl<'c> ThreadRuntime<'c> {
     /// Release all held advisory locks — on commit *and* on abort (paper
     /// Section 5.1). Returns `Some(contended)` if any lock was held, where
     /// `contended` is true when any of them saw waiters.
-    pub fn release_lock(&mut self, core: &mut Core) -> Option<bool> {
+    pub async fn release_lock(&mut self, core: &mut Core<'_>) -> Option<bool> {
         if self.held_locks.is_empty() {
             return None;
         }
         let mut contended = false;
         // Release in reverse acquisition order.
         while let Some(w) = self.held_locks.pop() {
-            contended |= self.shared.locks.release(core, w);
+            contended |= self.shared.locks.release(core, w).await;
         }
         Some(contended)
     }
@@ -424,14 +431,14 @@ impl<'c> ThreadRuntime<'c> {
     /// Handle a contention abort: release the lock, attribute, measure
     /// accuracy, and run the Figure 6 policy. `retries` is the attempt
     /// number within the current logical transaction.
-    pub fn on_conflict_abort(
+    pub async fn on_conflict_abort(
         &mut self,
-        core: &mut Core,
+        core: &mut Core<'_>,
         ab_id: u32,
         info: &AbortInfo,
         retries: u32,
     ) {
-        self.release_lock(core);
+        self.release_lock(core).await;
         // Locality histograms are recorded in every mode (offline analysis
         // for Table 1, independent of the policy).
         *self.stats.addr_hist.entry(info.conf_addr).or_insert(0) += 1;
@@ -517,8 +524,8 @@ impl<'c> ThreadRuntime<'c> {
 
     /// Handle a capacity/explicit abort (no contention evidence): just drop
     /// the lock.
-    pub fn on_other_abort(&mut self, core: &mut Core) {
-        self.release_lock(core);
+    pub async fn on_other_abort(&mut self, core: &mut Core<'_>) {
+        self.release_lock(core).await;
     }
 
     /// Handle a successful commit after `retries` failed attempts. An
@@ -526,8 +533,8 @@ impl<'c> ThreadRuntime<'c> {
     /// an empty history record, decaying stale contention evidence; once
     /// every record has decayed, the activation itself is dropped —
     /// "avoiding over-locking in the case of low contention" (Section 5.2).
-    pub fn on_commit(&mut self, core: &mut Core, ab_id: u32, retries: u32) {
-        let released = self.release_lock(core);
+    pub async fn on_commit(&mut self, core: &mut Core<'_>, ab_id: u32, retries: u32) {
+        let released = self.release_lock(core).await;
         if self.cfg.mode == Mode::Htm {
             return;
         }
@@ -547,10 +554,10 @@ impl<'c> ThreadRuntime<'c> {
 
     /// Polite backoff before retry `retries` (mean spin proportional to the
     /// retry count, with deterministic jitter).
-    pub fn backoff(&mut self, core: &mut Core, retries: u32) {
+    pub async fn backoff(&mut self, core: &mut Core<'_>, retries: u32) {
         let mean = self.cfg.backoff_base * (retries as u64 + 1);
         let jitter = self.next_rand(mean.max(1));
-        core.charge_backoff(mean / 2 + jitter);
+        core.charge_backoff(mean / 2 + jitter).await;
     }
 
     /// The irrevocable-fallback global lock.
@@ -562,7 +569,7 @@ impl<'c> ThreadRuntime<'c> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htm_sim::MachineConfig;
+    use htm_sim::{body, MachineConfig};
     use stagger_compiler::compile;
     use tm_ir::{FuncBuilder, FuncKind, Module};
 
@@ -584,9 +591,9 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Htm);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             assert_eq!(rt.stats.alps_executed, 0);
             assert_eq!(core.now(), 0, "no cost charged in baseline mode");
         })]);
@@ -598,10 +605,10 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg.clone(), &c, shared, core.tid());
-            rt.txn_start(core, 0); // training: nothing active
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.txn_start(&mut core, 0).await; // training: nothing active
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             assert_eq!(rt.stats.alps_executed, 1);
             assert_eq!(core.now(), cfg.alp_inactive_cost);
             assert!(!rt.holds_lock());
@@ -614,18 +621,18 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
             rt.ctx_mut(0).window_aborts = 8; // recently contended
-            rt.txn_start(core, 0);
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.txn_start(&mut core, 0).await;
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             assert!(rt.holds_lock());
             assert_eq!(rt.stats.locks_acquired, 1);
             // Second ALP in the same instance: anchor already consumed.
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             assert_eq!(rt.stats.locks_acquired, 1);
-            rt.release_lock(core);
+            rt.release_lock(&mut core).await;
             assert!(!rt.holds_lock());
         })]);
     }
@@ -636,21 +643,21 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             rt.ctx_mut(0).activation = Activation::Precise {
                 anchor: 1,
                 addr: 0x4000,
             };
             rt.ctx_mut(0).window_aborts = 8; // recently contended
-            rt.txn_start(core, 0);
+            rt.txn_start(&mut core, 0).await;
             // Mismatched address: no lock, anchor stays active.
-            rt.alpoint(core, 0, 1, 0x9000, true);
+            rt.alpoint(&mut core, 0, 1, 0x9000, true).await;
             assert!(!rt.holds_lock());
             // Matching line: lock.
-            rt.alpoint(core, 0, 1, 0x4038, true);
+            rt.alpoint(&mut core, 0, 1, 0x4038, true).await;
             assert!(rt.holds_lock());
-            rt.release_lock(core);
+            rt.release_lock(&mut core).await;
         })]);
     }
 
@@ -660,10 +667,10 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::StaggeredSw);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
-            rt.txn_start(core, 0);
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.txn_start(&mut core, 0).await;
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             // The map knows line 0x4000 -> anchor 1; a conflict there is
             // attributed without any PC.
             let info = AbortInfo {
@@ -694,7 +701,7 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |core| async move {
             let rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             let info = AbortInfo {
                 cause: htm_sim::AbortCause::Conflict,
@@ -713,7 +720,7 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::AddrOnly);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             let info = AbortInfo {
                 cause: htm_sim::AbortCause::Conflict,
@@ -722,7 +729,7 @@ mod tests {
                 true_first_pc: 0,
             };
             for _ in 0..7 {
-                rt.on_conflict_abort(core, 0, &info, 0);
+                rt.on_conflict_abort(&mut core, 0, &info, 0).await;
             }
             assert_eq!(
                 rt.ctx(0).unwrap().activation,
@@ -732,9 +739,9 @@ mod tests {
                 }
             );
             // Next instance locks at block start.
-            rt.txn_start(core, 0);
+            rt.txn_start(&mut core, 0).await;
             assert!(rt.holds_lock());
-            rt.release_lock(core);
+            rt.release_lock(&mut core).await;
         })]);
     }
 
@@ -744,15 +751,15 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
             rt.ctx_mut(0).history.append(0x500, 0x4000);
             rt.ctx_mut(0).window_aborts = 8; // recently contended
-            rt.txn_start(core, 0);
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.txn_start(&mut core, 0).await;
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             assert!(rt.holds_lock());
-            rt.on_commit(core, 0, 0);
+            rt.on_commit(&mut core, 0, 0).await;
             assert!(!rt.holds_lock());
             let h = &rt.ctx(0).unwrap().history;
             assert_eq!(h.len(), 2, "empty record appended");
@@ -767,24 +774,24 @@ mod tests {
         let mut cfg = RuntimeConfig::with_mode(Mode::Staggered);
         cfg.max_locks_per_txn = 2;
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
             rt.ctx_mut(0).window_aborts = 8;
-            rt.txn_start(core, 0);
+            rt.txn_start(&mut core, 0).await;
             // Two different lines -> two locks.
-            rt.alpoint(core, 0, 1, 0x4000, true);
+            rt.alpoint(&mut core, 0, 1, 0x4000, true).await;
             assert_eq!(rt.stats.locks_acquired, 1);
             assert_ne!(rt.ctx(0).unwrap().active_anchor, 0, "budget not spent");
-            rt.alpoint(core, 0, 1, 0x9000, true);
+            rt.alpoint(&mut core, 0, 1, 0x9000, true).await;
             assert_eq!(rt.stats.locks_acquired, 2);
             assert_eq!(rt.ctx(0).unwrap().active_anchor, 0, "budget spent");
             // A third attempt does nothing.
-            rt.alpoint(core, 0, 1, 0xC000, true);
+            rt.alpoint(&mut core, 0, 1, 0xC000, true).await;
             assert_eq!(rt.stats.locks_acquired, 2);
             // Release drops both.
             assert!(rt.holds_lock());
-            rt.release_lock(core);
+            rt.release_lock(&mut core).await;
             assert!(!rt.holds_lock());
         })]);
     }
@@ -800,36 +807,34 @@ mod tests {
         let shared = SharedRt::new(&machine, &cfg);
         let flag = machine.host_alloc(8, true);
         let c2 = c.clone();
+        let cfg2 = cfg.clone();
         machine.run(vec![
-            Box::new({
-                let cfg = cfg.clone();
-                move |core: &mut Core| {
-                    let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
-                    rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
-                    rt.ctx_mut(0).window_aborts = 8;
-                    rt.txn_start(core, 0);
-                    rt.alpoint(core, 0, 1, 0x4000, true); // grab lock A
-                    core.nt_store(flag, 1);
-                    core.compute(400_000); // hold it for a long time
-                    rt.release_lock(core);
-                }
+            body(move |mut core| async move {
+                let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
+                rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
+                rt.ctx_mut(0).window_aborts = 8;
+                rt.txn_start(&mut core, 0).await;
+                rt.alpoint(&mut core, 0, 1, 0x4000, true).await; // grab lock A
+                core.nt_store(flag, 1).await;
+                core.compute(400_000); // hold it for a long time
+                rt.release_lock(&mut core).await;
             }),
-            Box::new(move |core: &mut Core| {
-                let mut rt = ThreadRuntime::new(cfg, &c2, shared, core.tid());
-                while core.nt_load(flag) == 0 {
+            body(move |mut core| async move {
+                let mut rt = ThreadRuntime::new(cfg2, &c2, shared, core.tid());
+                while core.nt_load(flag).await == 0 {
                     core.compute(50);
                 }
                 rt.ctx_mut(0).activation = Activation::Coarse { anchor: 1 };
                 rt.ctx_mut(0).window_aborts = 8;
-                rt.txn_start(core, 0);
-                rt.alpoint(core, 0, 1, 0x9000, true); // lock B: blocking, free
+                rt.txn_start(&mut core, 0).await;
+                rt.alpoint(&mut core, 0, 1, 0x9000, true).await; // lock B: blocking, free
                 assert_eq!(rt.stats.locks_acquired, 1);
                 let before = core.now();
-                rt.alpoint(core, 0, 1, 0x4000, true); // lock A held: try-only
+                rt.alpoint(&mut core, 0, 1, 0x4000, true).await; // lock A held: try-only
                 assert_eq!(rt.stats.locks_acquired, 1, "must not block");
                 assert_eq!(rt.stats.lock_timeouts, 1);
                 assert!(core.now() - before < 1_000, "try must be instant");
-                rt.release_lock(core);
+                rt.release_lock(&mut core).await;
             }),
         ]);
     }
@@ -840,14 +845,14 @@ mod tests {
         let machine = Machine::new(MachineConfig::small(1));
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
-        machine.run(vec![Box::new(move |core: &mut Core| {
+        machine.run(vec![body(move |mut core| async move {
             let mut rt = ThreadRuntime::new(cfg, &c, shared, core.tid());
             let t0 = core.now();
-            rt.backoff(core, 0);
+            rt.backoff(&mut core, 0).await;
             let d1 = core.now() - t0;
             let t1 = core.now();
             for _ in 0..5 {
-                rt.backoff(core, 9);
+                rt.backoff(&mut core, 9).await;
             }
             let d2 = (core.now() - t1) / 5;
             assert!(d2 > d1, "backoff mean grows with retries");

@@ -4,6 +4,8 @@
 use crate::prepared::{Prepared, PreparedFunc};
 use htm_sim::{AbortCause, Addr, Core, TxError};
 use stagger_core::{RuntimeConfig, SharedRt, ThreadRuntime};
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 use tm_ir::{FuncId, FuncKind, Inst};
 
@@ -103,13 +105,14 @@ impl<'c> Executor<'c> {
     /// protocol; normal functions execute plainly (and must not be
     /// transactional-only helpers invoked outside a transaction — they run
     /// with plain coherence semantics in that case).
-    pub fn call(&mut self, core: &mut Core, fid: FuncId, args: &[u64]) -> u64 {
+    pub async fn call(&mut self, core: &mut Core<'_>, fid: FuncId, args: &[u64]) -> u64 {
         let prepared = self.prepared.clone();
         let f = &prepared.funcs[fid.index()];
         match f.kind {
-            FuncKind::Atomic { ab_id } => self.run_txn(core, &prepared, fid, ab_id, args),
+            FuncKind::Atomic { ab_id } => self.run_txn(core, &prepared, fid, ab_id, args).await,
             FuncKind::Normal => self
                 .exec_function(core, &prepared, fid, args, None)
+                .await
                 .expect("plain execution cannot abort"),
         }
     }
@@ -117,258 +120,277 @@ impl<'c> Executor<'c> {
     /// The retry protocol of paper Section 6: up to `max_retries` hardware
     /// attempts with polite backoff, global-lock subscription immediately
     /// before commit, then irrevocable execution under the global lock.
-    fn run_txn(
-        &mut self,
-        core: &mut Core,
-        prepared: &Prepared,
+    ///
+    /// Boxed future: `run_txn` and [`Self::exec_function`] are mutually
+    /// recursive, so neither can be a plain `async fn`.
+    fn run_txn<'a, 'm>(
+        &'a mut self,
+        core: &'a mut Core<'m>,
+        prepared: &'a Prepared,
         fid: FuncId,
         ab_id: u32,
-        args: &[u64],
-    ) -> u64 {
-        let gl = self.rt.global_lock();
-        let spin = self.rt.cfg.lock_spin;
-        let max_retries = self.rt.cfg.max_retries;
-        let mut attempt: u32 = 0;
-        loop {
-            if attempt >= max_retries {
-                // Irrevocable mode: acquire the global lock and run
-                // non-speculatively. Plain stores doom any racing
-                // speculative readers/writers (requester wins).
-                gl.acquire(core, spin);
-                let t0 = core.now();
-                let r = self
-                    .exec_function(core, prepared, fid, args, None)
-                    .expect("irrevocable execution cannot abort");
-                let dt = core.now().saturating_sub(t0);
-                gl.release(core);
-                core.record_irrevocable(dt);
-                self.stats.irrevocable_txns += 1;
-                return r;
-            }
-            // Note: the paper's runtime does NOT test the global lock
-            // before starting an attempt — transactions subscribe to it
-            // only "immediately before attempting to commit". Speculative
-            // attempts racing an irrevocable transaction therefore run to
-            // completion and waste their work, which is a real (and
-            // reproduced) component of the baseline's collapse under heavy
-            // contention.
-            self.attempt_insts = 0;
-            self.attempt_anchors = 0;
-            core.tx_begin(ab_id);
-            self.rt.txn_start(core, ab_id);
-            match self.exec_function(core, prepared, fid, args, Some(ab_id)) {
-                Ok(v) => {
-                    // Subscribe to the global lock immediately before
-                    // commit: its line joins our read set, so a racing
-                    // irrevocable acquisition dooms us.
-                    match core.tx_load(gl.addr(), GLOBAL_LOCK_SUB_PC) {
-                        Ok(0) => match core.tx_commit() {
-                            Ok(()) => {
-                                self.rt.on_commit(core, ab_id, attempt);
-                                self.stats.committed_txns += 1;
-                                self.stats.committed_insts += self.attempt_insts;
-                                self.stats.committed_anchors += self.attempt_anchors;
-                                return v;
-                            }
-                            Err(e) => self.handle_abort(core, ab_id, e, attempt),
-                        },
-                        Ok(_held) => {
-                            // Global lock held: we must not commit. The
-                            // attempt's work is already wasted (the lemming
-                            // effect of lazy subscription); spin until the
-                            // irrevocable transaction finishes so retries
-                            // aren't burned against the same holder.
-                            core.tx_abort();
-                            self.stats.aborted_attempts += 1;
-                            self.rt.on_other_abort(core);
-                            gl.wait_until_free(core, spin);
-                        }
-                        Err(e) => self.handle_abort(core, ab_id, e, attempt),
-                    }
+        args: &'a [u64],
+    ) -> Pin<Box<dyn Future<Output = u64> + Send + 'a>> {
+        Box::pin(async move {
+            let gl = self.rt.global_lock();
+            let spin = self.rt.cfg.lock_spin;
+            let max_retries = self.rt.cfg.max_retries;
+            let mut attempt: u32 = 0;
+            loop {
+                if attempt >= max_retries {
+                    // Irrevocable mode: acquire the global lock and run
+                    // non-speculatively. Plain stores doom any racing
+                    // speculative readers/writers (requester wins).
+                    gl.acquire(core, spin).await;
+                    let t0 = core.now();
+                    let r = self
+                        .exec_function(core, prepared, fid, args, None)
+                        .await
+                        .expect("irrevocable execution cannot abort");
+                    let dt = core.now().saturating_sub(t0);
+                    gl.release(core).await;
+                    core.record_irrevocable(dt).await;
+                    self.stats.irrevocable_txns += 1;
+                    return r;
                 }
-                Err(e) => self.handle_abort(core, ab_id, e, attempt),
+                // Note: the paper's runtime does NOT test the global lock
+                // before starting an attempt — transactions subscribe to it
+                // only "immediately before attempting to commit". Speculative
+                // attempts racing an irrevocable transaction therefore run to
+                // completion and waste their work, which is a real (and
+                // reproduced) component of the baseline's collapse under heavy
+                // contention.
+                self.attempt_insts = 0;
+                self.attempt_anchors = 0;
+                core.tx_begin(ab_id).await;
+                self.rt.txn_start(core, ab_id).await;
+                match self
+                    .exec_function(core, prepared, fid, args, Some(ab_id))
+                    .await
+                {
+                    Ok(v) => {
+                        // Subscribe to the global lock immediately before
+                        // commit: its line joins our read set, so a racing
+                        // irrevocable acquisition dooms us.
+                        match core.tx_load(gl.addr(), GLOBAL_LOCK_SUB_PC).await {
+                            Ok(0) => match core.tx_commit().await {
+                                Ok(()) => {
+                                    self.rt.on_commit(core, ab_id, attempt).await;
+                                    self.stats.committed_txns += 1;
+                                    self.stats.committed_insts += self.attempt_insts;
+                                    self.stats.committed_anchors += self.attempt_anchors;
+                                    return v;
+                                }
+                                Err(e) => self.handle_abort(core, ab_id, e, attempt).await,
+                            },
+                            Ok(_held) => {
+                                // Global lock held: we must not commit. The
+                                // attempt's work is already wasted (the lemming
+                                // effect of lazy subscription); spin until the
+                                // irrevocable transaction finishes so retries
+                                // aren't burned against the same holder.
+                                core.tx_abort().await;
+                                self.stats.aborted_attempts += 1;
+                                self.rt.on_other_abort(core).await;
+                                gl.wait_until_free(core, spin).await;
+                            }
+                            Err(e) => self.handle_abort(core, ab_id, e, attempt).await,
+                        }
+                    }
+                    Err(e) => self.handle_abort(core, ab_id, e, attempt).await,
+                }
+                attempt += 1;
             }
-            attempt += 1;
-        }
+        })
     }
 
-    fn handle_abort(&mut self, core: &mut Core, ab_id: u32, e: TxError, attempt: u32) {
+    async fn handle_abort(&mut self, core: &mut Core<'_>, ab_id: u32, e: TxError, attempt: u32) {
         self.stats.aborted_attempts += 1;
         let info = e.info();
         match info.cause {
-            AbortCause::Conflict => self.rt.on_conflict_abort(core, ab_id, &info, attempt),
-            AbortCause::Capacity | AbortCause::Explicit => self.rt.on_other_abort(core),
+            AbortCause::Conflict => self.rt.on_conflict_abort(core, ab_id, &info, attempt).await,
+            AbortCause::Capacity | AbortCause::Explicit => self.rt.on_other_abort(core).await,
         }
-        self.rt.backoff(core, attempt);
+        self.rt.backoff(core, attempt).await;
         // Part of the polite retry policy: if an irrevocable transaction is
         // running, retrying against it just burns attempts (its plain
         // stores doom us again) — wait it out. The attempt that was already
         // wasted stays wasted.
         let gl = self.rt.global_lock();
-        if gl.is_held(core) {
-            gl.wait_until_free(core, self.rt.cfg.lock_spin);
+        if gl.is_held(core).await {
+            gl.wait_until_free(core, self.rt.cfg.lock_spin).await;
         }
     }
 
     /// Interpret one function. `tx` is the atomic-block id when running
     /// speculatively; `None` for plain (non-transactional or irrevocable)
     /// execution.
-    fn exec_function(
-        &mut self,
-        core: &mut Core,
-        prepared: &Prepared,
+    ///
+    /// Boxed future: recursive through `Inst::Call` (and mutually with
+    /// [`Self::run_txn`]).
+    fn exec_function<'a, 'm>(
+        &'a mut self,
+        core: &'a mut Core<'m>,
+        prepared: &'a Prepared,
         fid: FuncId,
-        args: &[u64],
+        args: &'a [u64],
         tx: Option<u32>,
-    ) -> Result<u64, TxError> {
-        let f: &PreparedFunc = &prepared.funcs[fid.index()];
-        debug_assert_eq!(args.len(), f.n_params as usize, "arity in {}", f.name);
-        let mut regs = vec![0u64; f.n_regs as usize];
-        regs[..args.len()].copy_from_slice(args);
-        let mut bid = f.entry;
+    ) -> Pin<Box<dyn Future<Output = Result<u64, TxError>> + Send + 'a>> {
+        Box::pin(async move {
+            let f: &PreparedFunc = &prepared.funcs[fid.index()];
+            debug_assert_eq!(args.len(), f.n_params as usize, "arity in {}", f.name);
+            let mut regs = vec![0u64; f.n_regs as usize];
+            regs[..args.len()].copy_from_slice(args);
+            let mut bid = f.entry;
 
-        'blocks: loop {
-            let block = &f.blocks[bid.index()];
-            for (inst, pc) in block {
-                // One cycle per µ-op, except the ALPoint pseudo-instruction
-                // whose cost is owned by the runtime (zero in baseline mode).
-                if !matches!(inst, Inst::AlPoint { .. }) {
-                    core.compute(1);
-                    self.stats.insts += 1;
-                    if tx.is_some() {
-                        self.attempt_insts += 1;
-                    }
-                }
-                match *inst {
-                    Inst::Const { dst, value } => regs[dst.index()] = value,
-                    Inst::Mov { dst, src } => regs[dst.index()] = regs[src.index()],
-                    Inst::Bin { op, dst, a, b } => {
-                        regs[dst.index()] = op
-                            .eval(regs[a.index()], regs[b.index()])
-                            .unwrap_or_else(|| {
-                                panic!("division by zero in {} at pc {pc:#x}", f.name)
-                            });
-                    }
-                    Inst::Cmp { op, dst, a, b } => {
-                        regs[dst.index()] = op.eval(regs[a.index()], regs[b.index()]);
-                    }
-                    Inst::Load { dst, base, offset } => {
-                        let addr = self.effective(&f.name, regs[base.index()], 0, offset);
-                        regs[dst.index()] = self.mem_load(core, addr, *pc, tx)?;
-                    }
-                    Inst::Store { src, base, offset } => {
-                        let addr = self.effective(&f.name, regs[base.index()], 0, offset);
-                        self.mem_store(core, addr, regs[src.index()], *pc, tx)?;
-                    }
-                    Inst::LoadIdx {
-                        dst,
-                        base,
-                        index,
-                        offset,
-                    } => {
-                        let addr = self.effective(
-                            &f.name,
-                            regs[base.index()],
-                            regs[index.index()],
-                            offset,
-                        );
-                        regs[dst.index()] = self.mem_load(core, addr, *pc, tx)?;
-                    }
-                    Inst::StoreIdx {
-                        src,
-                        base,
-                        index,
-                        offset,
-                    } => {
-                        let addr = self.effective(
-                            &f.name,
-                            regs[base.index()],
-                            regs[index.index()],
-                            offset,
-                        );
-                        self.mem_store(core, addr, regs[src.index()], *pc, tx)?;
-                    }
-                    Inst::Gep {
-                        dst,
-                        base,
-                        index,
-                        offset,
-                    } => {
-                        regs[dst.index()] = regs[base.index()]
-                            .wrapping_add((regs[index.index()].wrapping_add(offset as u64)) * 8);
-                    }
-                    Inst::Alloc {
-                        dst,
-                        words,
-                        line_align,
-                    } => {
-                        regs[dst.index()] = core.alloc(regs[words.index()], line_align);
-                    }
-                    Inst::Call {
-                        func,
-                        args: ref call_args,
-                        dst,
-                    } => {
-                        let vals: Vec<u64> = call_args.iter().map(|r| regs[r.index()]).collect();
-                        let r = match prepared.funcs[func.index()].kind {
-                            // A call to an atomic function from plain code
-                            // opens a hardware transaction (the verifier
-                            // rejects atomic-from-atomic).
-                            FuncKind::Atomic { ab_id } => {
-                                debug_assert!(tx.is_none(), "nested atomic call");
-                                self.run_txn(core, prepared, func, ab_id, &vals)
-                            }
-                            FuncKind::Normal => {
-                                self.exec_function(core, prepared, func, &vals, tx)?
-                            }
-                        };
-                        if let Some(d) = dst {
-                            regs[d.index()] = r;
-                        }
-                    }
-                    Inst::Ret { val } => {
-                        return Ok(val.map_or(0, |r| regs[r.index()]));
-                    }
-                    Inst::Br { target } => {
-                        bid = target;
-                        continue 'blocks;
-                    }
-                    Inst::CondBr {
-                        cond,
-                        then_b,
-                        else_b,
-                    } => {
-                        bid = if regs[cond.index()] != 0 {
-                            then_b
-                        } else {
-                            else_b
-                        };
-                        continue 'blocks;
-                    }
-                    Inst::Compute { cycles } => core.compute(cycles as u64),
-                    Inst::Rand { dst, bound } => {
-                        let b = regs[bound.index()];
-                        assert!(b > 0, "rand with zero bound in {}", f.name);
-                        regs[dst.index()] = self.rand_below(b);
-                    }
-                    Inst::AlPoint {
-                        anchor,
-                        base,
-                        index,
-                        offset,
-                    } => {
-                        let idx = index.map_or(0, |r| regs[r.index()]);
-                        let addr = regs[base.index()].wrapping_add((idx + offset as u64) * 8);
+            'blocks: loop {
+                let block = &f.blocks[bid.index()];
+                for (inst, pc) in block {
+                    // One cycle per µ-op, except the ALPoint pseudo-instruction
+                    // whose cost is owned by the runtime (zero in baseline mode).
+                    if !matches!(inst, Inst::AlPoint { .. }) {
+                        core.compute(1);
+                        self.stats.insts += 1;
                         if tx.is_some() {
-                            self.attempt_anchors += 1;
+                            self.attempt_insts += 1;
                         }
-                        self.rt
-                            .alpoint(core, tx.unwrap_or(0), anchor, addr, tx.is_some());
+                    }
+                    match *inst {
+                        Inst::Const { dst, value } => regs[dst.index()] = value,
+                        Inst::Mov { dst, src } => regs[dst.index()] = regs[src.index()],
+                        Inst::Bin { op, dst, a, b } => {
+                            regs[dst.index()] = op
+                                .eval(regs[a.index()], regs[b.index()])
+                                .unwrap_or_else(|| {
+                                    panic!("division by zero in {} at pc {pc:#x}", f.name)
+                                });
+                        }
+                        Inst::Cmp { op, dst, a, b } => {
+                            regs[dst.index()] = op.eval(regs[a.index()], regs[b.index()]);
+                        }
+                        Inst::Load { dst, base, offset } => {
+                            let addr = self.effective(&f.name, regs[base.index()], 0, offset);
+                            regs[dst.index()] = self.mem_load(core, addr, *pc, tx).await?;
+                        }
+                        Inst::Store { src, base, offset } => {
+                            let addr = self.effective(&f.name, regs[base.index()], 0, offset);
+                            self.mem_store(core, addr, regs[src.index()], *pc, tx)
+                                .await?;
+                        }
+                        Inst::LoadIdx {
+                            dst,
+                            base,
+                            index,
+                            offset,
+                        } => {
+                            let addr = self.effective(
+                                &f.name,
+                                regs[base.index()],
+                                regs[index.index()],
+                                offset,
+                            );
+                            regs[dst.index()] = self.mem_load(core, addr, *pc, tx).await?;
+                        }
+                        Inst::StoreIdx {
+                            src,
+                            base,
+                            index,
+                            offset,
+                        } => {
+                            let addr = self.effective(
+                                &f.name,
+                                regs[base.index()],
+                                regs[index.index()],
+                                offset,
+                            );
+                            self.mem_store(core, addr, regs[src.index()], *pc, tx)
+                                .await?;
+                        }
+                        Inst::Gep {
+                            dst,
+                            base,
+                            index,
+                            offset,
+                        } => {
+                            regs[dst.index()] = regs[base.index()].wrapping_add(
+                                (regs[index.index()].wrapping_add(offset as u64)) * 8,
+                            );
+                        }
+                        Inst::Alloc {
+                            dst,
+                            words,
+                            line_align,
+                        } => {
+                            regs[dst.index()] = core.alloc(regs[words.index()], line_align).await;
+                        }
+                        Inst::Call {
+                            func,
+                            args: ref call_args,
+                            dst,
+                        } => {
+                            let vals: Vec<u64> =
+                                call_args.iter().map(|r| regs[r.index()]).collect();
+                            let r = match prepared.funcs[func.index()].kind {
+                                // A call to an atomic function from plain code
+                                // opens a hardware transaction (the verifier
+                                // rejects atomic-from-atomic).
+                                FuncKind::Atomic { ab_id } => {
+                                    debug_assert!(tx.is_none(), "nested atomic call");
+                                    self.run_txn(core, prepared, func, ab_id, &vals).await
+                                }
+                                FuncKind::Normal => {
+                                    self.exec_function(core, prepared, func, &vals, tx).await?
+                                }
+                            };
+                            if let Some(d) = dst {
+                                regs[d.index()] = r;
+                            }
+                        }
+                        Inst::Ret { val } => {
+                            return Ok(val.map_or(0, |r| regs[r.index()]));
+                        }
+                        Inst::Br { target } => {
+                            bid = target;
+                            continue 'blocks;
+                        }
+                        Inst::CondBr {
+                            cond,
+                            then_b,
+                            else_b,
+                        } => {
+                            bid = if regs[cond.index()] != 0 {
+                                then_b
+                            } else {
+                                else_b
+                            };
+                            continue 'blocks;
+                        }
+                        Inst::Compute { cycles } => core.compute(cycles as u64),
+                        Inst::Rand { dst, bound } => {
+                            let b = regs[bound.index()];
+                            assert!(b > 0, "rand with zero bound in {}", f.name);
+                            regs[dst.index()] = self.rand_below(b);
+                        }
+                        Inst::AlPoint {
+                            anchor,
+                            base,
+                            index,
+                            offset,
+                        } => {
+                            let idx = index.map_or(0, |r| regs[r.index()]);
+                            let addr = regs[base.index()].wrapping_add((idx + offset as u64) * 8);
+                            if tx.is_some() {
+                                self.attempt_anchors += 1;
+                            }
+                            self.rt
+                                .alpoint(core, tx.unwrap_or(0), anchor, addr, tx.is_some())
+                                .await;
+                        }
                     }
                 }
+                unreachable!("block without terminator survived verification");
             }
-            unreachable!("block without terminator survived verification");
-        }
+        })
     }
 
     #[inline]
@@ -377,33 +399,31 @@ impl<'c> Executor<'c> {
         base.wrapping_add(index.wrapping_add(offset as u64) * 8)
     }
 
-    #[inline]
-    fn mem_load(
+    async fn mem_load(
         &mut self,
-        core: &mut Core,
+        core: &mut Core<'_>,
         addr: Addr,
         pc: u64,
         tx: Option<u32>,
     ) -> Result<u64, TxError> {
         match tx {
-            Some(_) => core.tx_load(addr, pc),
-            None => Ok(core.plain_load(addr)),
+            Some(_) => core.tx_load(addr, pc).await,
+            None => Ok(core.plain_load(addr).await),
         }
     }
 
-    #[inline]
-    fn mem_store(
+    async fn mem_store(
         &mut self,
-        core: &mut Core,
+        core: &mut Core<'_>,
         addr: Addr,
         val: u64,
         pc: u64,
         tx: Option<u32>,
     ) -> Result<(), TxError> {
         match tx {
-            Some(_) => core.tx_store(addr, val, pc),
+            Some(_) => core.tx_store(addr, val, pc).await,
             None => {
-                core.plain_store(addr, val);
+                core.plain_store(addr, val).await;
                 Ok(())
             }
         }
@@ -412,7 +432,6 @@ impl<'c> Executor<'c> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::run::{run_workload, ThreadPlan};
     use htm_sim::{Machine, MachineConfig};
     use stagger_compiler::compile;
@@ -421,7 +440,7 @@ mod tests {
 
     /// Run `build` as a single-threaded plain program with `args` and
     /// return the entry function's result.
-    fn eval(build: impl FnOnce(&mut Module) -> (), args: Vec<u64>) -> (u64, Machine) {
+    fn eval(build: impl FnOnce(&mut Module), args: Vec<u64>) -> (u64, Machine) {
         let mut m = Module::new();
         build(&mut m);
         let compiled = compile(&m);
@@ -441,34 +460,29 @@ mod tests {
 
     #[test]
     fn gep_computes_element_addresses() {
-        let (r, machine) = {
-            let mut addr_out = 0;
-            let mut m = Module::new();
-            let mut b = FuncBuilder::new("thread_main", 1, FuncKind::Normal);
-            let base = b.param(0);
-            let idx = b.const_(3);
-            let p = b.gep(base, idx, 2); // base + (3+2)*8
-            b.store_const(77, p, 0);
-            b.ret(Some(p));
-            m.add_function(b.finish());
-            let compiled = compile(&m);
-            let machine = Machine::new(MachineConfig::small(1));
-            let arr = machine.host_alloc(16, true);
-            addr_out = arr;
-            let out = run_workload(
-                &machine,
-                &compiled,
-                &RuntimeConfig::with_mode(Mode::Htm),
-                &[ThreadPlan {
-                    func: compiled.module.expect("thread_main"),
-                    args: vec![arr],
-                }],
-                1,
-            );
-            assert_eq!(machine.host_load(addr_out + 40), 77);
-            (out.returns[0], machine)
-        };
-        let _ = (r, machine);
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("thread_main", 1, FuncKind::Normal);
+        let base = b.param(0);
+        let idx = b.const_(3);
+        let p = b.gep(base, idx, 2); // base + (3+2)*8
+        b.store_const(77, p, 0);
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        let compiled = compile(&m);
+        let machine = Machine::new(MachineConfig::small(1));
+        let arr = machine.host_alloc(16, true);
+        let out = run_workload(
+            &machine,
+            &compiled,
+            &RuntimeConfig::with_mode(Mode::Htm),
+            &[ThreadPlan {
+                func: compiled.module.expect("thread_main"),
+                args: vec![arr],
+            }],
+            1,
+        );
+        assert_eq!(machine.host_load(arr + 40), 77);
+        assert_eq!(out.returns[0], arr + 40);
     }
 
     #[test]

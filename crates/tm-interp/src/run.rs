@@ -76,7 +76,7 @@ pub fn run_workload_prepared(
     let results: Mutex<Vec<Option<(RtStats, ExecStats, u64)>>> =
         Mutex::new(vec![None; plans.len()]);
 
-    let bodies: Vec<Box<dyn FnOnce(&mut htm_sim::Core) + Send + '_>> = plans
+    let bodies: Vec<_> = plans
         .iter()
         .enumerate()
         .map(|(tid, plan)| {
@@ -84,7 +84,7 @@ pub fn run_workload_prepared(
             let results = &results;
             let rt_cfg = rt_cfg.clone();
             let plan = plan.clone();
-            Box::new(move |core: &mut htm_sim::Core| {
+            htm_sim::body(move |mut core| async move {
                 let mut exec = Executor::new(
                     compiled,
                     prepared,
@@ -93,10 +93,10 @@ pub fn run_workload_prepared(
                     tid,
                     base_seed + tid as u64,
                 );
-                let ret = exec.call(core, plan.func, &plan.args);
+                let ret = exec.call(&mut core, plan.func, &plan.args).await;
                 results.lock().unwrap()[tid] =
                     Some((exec.rt.stats.clone(), exec.stats.clone(), ret));
-            }) as Box<dyn FnOnce(&mut htm_sim::Core) + Send + '_>
+            })
         })
         .collect();
 

@@ -46,6 +46,23 @@ impl BenchResult {
             0.0
         }
     }
+
+    /// Shared-memory operations admitted through the scheduler gate across
+    /// all cores — scheduler-overhead observability, not a paper metric.
+    pub fn gated_ops(&self) -> u64 {
+        self.out.sim.aggregate().gated_ops
+    }
+
+    /// Host nanoseconds per simulated instruction — the inverse of
+    /// [`Self::insts_per_sec`], scaled for readability.
+    pub fn ns_per_inst(&self) -> f64 {
+        let insts = self.sim_insts();
+        if insts > 0 {
+            self.host_secs * 1e9 / insts as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A workload compiled and flattened once, reusable (and shareable across
@@ -107,11 +124,20 @@ impl<'w> PreparedWorkload<'w> {
         machine_cfg: MachineConfig,
         rt_cfg: RuntimeConfig,
     ) -> BenchResult {
+        let machine = Machine::new(machine_cfg);
+        self.run_on(&machine, &rt_cfg, seed)
+    }
+
+    /// Run on a caller-provided, freshly constructed machine. The caller
+    /// keeps the machine, so post-run state (e.g.
+    /// [`Machine::take_trace`]) stays reachable — the scheduler
+    /// equivalence tests depend on that. `machine` must not have run a
+    /// workload before: [`Workload::setup`] allocates from its heap.
+    pub fn run_on(&self, machine: &Machine, rt_cfg: &RuntimeConfig, seed: u64) -> BenchResult {
         let started = Instant::now();
         let mode = rt_cfg.mode;
-        let n_threads = machine_cfg.n_cores;
-        let machine = Machine::new(machine_cfg);
-        let thread_args = self.w.setup(&machine, n_threads);
+        let n_threads = machine.config().n_cores;
+        let thread_args = self.w.setup(machine, n_threads);
         assert_eq!(thread_args.len(), n_threads);
         let tm = self.compiled.module.expect("thread_main");
         let plans: Vec<ThreadPlan> = thread_args
@@ -122,14 +148,14 @@ impl<'w> PreparedWorkload<'w> {
             })
             .collect();
         let out = run_workload_prepared(
-            &machine,
+            machine,
             &self.compiled,
             &self.prepared,
-            &rt_cfg,
+            rt_cfg,
             &plans,
             seed,
         );
-        if let Err(e) = self.w.validate(&machine, &thread_args, &out) {
+        if let Err(e) = self.w.validate(machine, &thread_args, &out) {
             panic!(
                 "{} [{} x{}]: invariant violated: {e}",
                 self.w.name(),

@@ -281,8 +281,7 @@ impl Workload for Vacation {
         // Sum of used over all three trees equals units reserved; no row
         // overbooked.
         let mut used_total = 0u64;
-        for rel_i in 0..3 {
-            let rel = thread_args[0][rel_i];
+        for (rel_i, &rel) in thread_args[0][..3].iter().enumerate() {
             let mut stack = vec![machine.host_load(rel)];
             let mut seen = 0u64;
             while let Some(n) = stack.pop() {

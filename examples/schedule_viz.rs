@@ -65,7 +65,7 @@ fn run_and_render(mode: Mode, rounds: u64) -> (String, u64, u64) {
     let mut rt_cfg = RuntimeConfig::with_mode(mode);
     rt_cfg.min_conflict_rate = 0.15;
     let out = run_workload(&machine, &compiled, &rt_cfg, &plans, 5);
-    let timeline = render_timeline(&machine.trace(), 72);
+    let timeline = render_timeline(&machine.take_trace(), 72);
     (timeline, out.sim.aggregate().aborts(), out.sim.exec_cycles)
 }
 

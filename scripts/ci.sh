@@ -16,6 +16,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release (workspace root)"
 cargo build --release --offline
 
