@@ -1,5 +1,6 @@
 //! Diagnostic dump: per-benchmark, per-mode runtime internals (not a paper
-//! exhibit; used to tune and debug the policy).
+//! exhibit; used to tune and debug the policy). `--hist` adds per-mode
+//! top lock-word / anchor / conflict-address histograms.
 
 use stagger_bench::{prepare_all, run_jobs, workload_set, Opts, Report};
 use stagger_core::Mode;
@@ -54,7 +55,7 @@ fn main() {
                 r.out.rt.act_training,
                 r.out.rt.accuracy(),
             );
-            if std::env::var("DIAG_HIST").is_ok() {
+            if opts.hist {
                 let mut lw: Vec<_> = r.out.rt.lock_word_hist.iter().collect();
                 lw.sort_by_key(|&(_, c)| std::cmp::Reverse(*c));
                 let top: Vec<String> = lw

@@ -32,6 +32,7 @@ use workloads::{BenchResult, PreparedWorkload, Workload};
 
 pub mod jobs;
 pub mod paper;
+pub mod profiling;
 pub mod report;
 
 pub use jobs::run_jobs;
@@ -39,14 +40,23 @@ pub use report::Report;
 
 const USAGE: &str = "\
 options:
-  --threads N   simulated cores per run (default 16, as in the paper)
-  --quick       scaled-down workloads for smoke runs
-  --seed N      base workload seed (default 2015)
-  --jobs N      harness worker threads; simulator runs execute in parallel
-                but results and output order stay deterministic
-                (default: available CPUs)
-  --json        also dump per-run throughput to results/BENCH_<exhibit>.json
-  --help        show this message";
+  --threads N    simulated cores per run (default 16, as in the paper)
+  --quick        scaled-down workloads for smoke runs
+  --seed N       base workload seed (default 2015)
+  --jobs N       harness worker threads; simulator runs execute in parallel
+                 but results and output order stay deterministic
+                 (default: available CPUs)
+  --json         also dump per-run throughput to results/BENCH_<exhibit>.json
+  --hist         diag: print per-mode lock-word/anchor/conflict histograms
+  --workload W   profile: workload to profile, by name (default list-hi)
+  --mode M       profile: execution mode — HTM, AddrOnly, Staggered+SW or
+                 Staggered (default HTM)
+  --trace-out F  profile: dump the raw observability event stream to F as
+                 JSONL (schema: htm-sim obs module docs / EXPERIMENTS.md)
+  --help         show this message";
+
+const USAGE_LINE: &str = "[--threads N] [--quick] [--seed N] [--jobs N] [--json] [--hist] \
+     [--workload W] [--mode M] [--trace-out F]";
 
 /// Harness options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -61,6 +71,21 @@ pub struct Opts {
     pub jobs: usize,
     /// Dump `results/BENCH_<exhibit>.json` at the end of the run.
     pub json: bool,
+    /// `diag`: print the per-mode lock-word/anchor/conflict histograms.
+    pub hist: bool,
+    /// `profile`: workload name to profile (default `list-hi`).
+    pub workload: Option<String>,
+    /// `profile`: execution mode (default [`Mode::Htm`]).
+    pub mode: Option<Mode>,
+    /// `profile`: JSONL destination for the raw event stream.
+    pub trace_out: Option<String>,
+}
+
+/// Parse a [`Mode`] by its display name, case-insensitively; `+` may be
+/// omitted ("staggeredsw" ≡ "Staggered+SW").
+pub fn parse_mode(s: &str) -> Option<Mode> {
+    let norm = |x: &str| x.to_ascii_lowercase().replace('+', "");
+    Mode::ALL.into_iter().find(|m| norm(m.name()) == norm(s))
 }
 
 impl Opts {
@@ -71,6 +96,10 @@ impl Opts {
             seed: 2015,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             json: false,
+            hist: false,
+            workload: None,
+            mode: None,
+            trace_out: None,
         }
     }
 
@@ -94,7 +123,7 @@ impl Opts {
             .unwrap_or_else(|| "exhibit".to_string());
         let fail = |msg: &str| -> ! {
             eprintln!("{program}: {msg}");
-            eprintln!("usage: {program} [--threads N] [--quick] [--seed N] [--jobs N] [--json]");
+            eprintln!("usage: {program} {USAGE_LINE}");
             eprintln!("{USAGE}");
             std::process::exit(2);
         };
@@ -130,10 +159,18 @@ impl Opts {
                 }
                 "--quick" => o.quick = true,
                 "--json" => o.json = true,
-                "--help" | "-h" => {
-                    println!(
-                        "usage: {program} [--threads N] [--quick] [--seed N] [--jobs N] [--json]"
+                "--hist" => o.hist = true,
+                "--workload" => o.workload = Some(value("--workload")),
+                "--mode" => {
+                    let v = value("--mode");
+                    o.mode = Some(
+                        parse_mode(&v)
+                            .unwrap_or_else(|| fail(&format!("invalid --mode value '{v}'"))),
                     );
+                }
+                "--trace-out" => o.trace_out = Some(value("--trace-out")),
+                "--help" | "-h" => {
+                    println!("usage: {program} {USAGE_LINE}");
                     println!("{USAGE}");
                     std::process::exit(0);
                 }
@@ -295,6 +332,16 @@ mod tests {
         assert_eq!(contention_class(4.8), "high");
         assert_eq!(yn(0.8), "Y");
         assert_eq!(yn(0.2), "N");
+    }
+
+    #[test]
+    fn mode_names_parse_back() {
+        for m in Mode::ALL {
+            assert_eq!(parse_mode(m.name()), Some(m));
+            assert_eq!(parse_mode(&m.name().to_lowercase()), Some(m));
+        }
+        assert_eq!(parse_mode("staggeredsw"), Some(Mode::StaggeredSw));
+        assert_eq!(parse_mode("nonsense"), None);
     }
 
     #[test]

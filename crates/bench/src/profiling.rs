@@ -1,0 +1,236 @@
+//! Conflict-attribution analysis over observability event streams: the
+//! offline half of the paper's Section 3 profiling pass.
+//!
+//! The simulator's event stream carries 12-bit PC tags (what the hardware
+//! delivers); this module aggregates them per atomic block and resolves
+//! them back to IR functions and instructions through the compiled
+//! program's unified anchor tables and [`CodeLayout`] — exactly the
+//! information an anchor-selection pass would consume.
+
+use htm_sim::obs::{ObsEvent, ObsKind};
+use htm_sim::{AbortCause, FxHashMap};
+use stagger_compiler::Compiled;
+use tm_ir::display::format_inst;
+use tm_ir::{Pc, INST_BYTES, TEXT_BASE};
+
+/// One aggregated conflicting-PC-tag pair, keyed by the victim's atomic
+/// block (known from the enclosing `TxBegin`, so the victim tag can be
+/// resolved through that block's anchor table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictPair {
+    /// Atomic block the victim transaction was executing.
+    pub ab_id: u32,
+    /// 12-bit tag of the victim's first access to the conflicting line.
+    pub victim_tag: u16,
+    /// 12-bit tag of the access that doomed it (0 = nontransactional).
+    pub aborter_tag: u16,
+    /// Number of conflict aborts attributed to this pair.
+    pub count: u64,
+}
+
+/// Aggregate conflict aborts into (atomic block, victim tag, aborter tag)
+/// pairs, count-descending (ties by key — deterministic).
+pub fn conflict_pairs(streams: &[Vec<ObsEvent>]) -> Vec<ConflictPair> {
+    let mut counts: FxHashMap<(u32, u16, u16), u64> = FxHashMap::default();
+    for stream in streams {
+        let mut ab = 0u32;
+        for e in stream {
+            match e.kind {
+                ObsKind::TxBegin { ab_id } => ab = ab_id,
+                ObsKind::TxAbort {
+                    cause: AbortCause::Conflict,
+                    victim_pc_tag,
+                    aborter_pc_tag,
+                    ..
+                } => {
+                    *counts
+                        .entry((ab, victim_pc_tag, aborter_pc_tag))
+                        .or_insert(0) += 1
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut v: Vec<ConflictPair> = counts
+        .into_iter()
+        .map(|((ab_id, victim_tag, aborter_tag), count)| ConflictPair {
+            ab_id,
+            victim_tag,
+            aborter_tag,
+            count,
+        })
+        .collect();
+    v.sort_by_key(|p| {
+        (
+            std::cmp::Reverse(p.count),
+            p.ab_id,
+            p.victim_tag,
+            p.aborter_tag,
+        )
+    });
+    v
+}
+
+/// A PC tag resolved back to the program: full PC, owning function,
+/// instruction text and (when the access sits in an anchor table) its
+/// anchor id.
+#[derive(Debug, Clone)]
+pub struct ResolvedTag {
+    pub pc: Pc,
+    pub func: String,
+    pub offset: u64,
+    pub inst: String,
+    /// Anchor id from the unified anchor table (0 when the entry has no
+    /// anchor or the tag resolved outside any table).
+    pub anchor_id: u32,
+    pub is_anchor: bool,
+}
+
+/// Resolve a 12-bit tag to the program, preferring `ab_id`'s unified
+/// anchor table (the lookup the runtime itself performs on abort), then
+/// any other block's table (ascending id), then a [`CodeLayout`] scan over
+/// the tag's aliasing class. `None` when no laid-out instruction matches
+/// (e.g. tag 0 from a nontransactional aborter).
+pub fn resolve_tag(c: &Compiled, ab_id: u32, tag: u16) -> Option<ResolvedTag> {
+    let from_entry = |pc: Pc, anchor_id: u32, is_anchor: bool| {
+        let fid = c.layout.func_at(pc)?;
+        let f = c.module.func(fid);
+        let inst = c
+            .layout
+            .inst_at(pc)
+            .map(|r| format_inst(&c.module, c.module.inst(r)))
+            .unwrap_or_default();
+        Some(ResolvedTag {
+            pc,
+            func: f.name.clone(),
+            offset: pc - c.layout.func_start(fid),
+            inst,
+            anchor_id,
+            is_anchor,
+        })
+    };
+    if let Some(t) = c.tables.get(&ab_id) {
+        if let Some(e) = t.search_by_pc_tag(tag) {
+            return from_entry(e.pc, e.anchor_id, e.is_anchor);
+        }
+    }
+    let mut ab_ids: Vec<u32> = c.tables.keys().copied().filter(|&i| i != ab_id).collect();
+    ab_ids.sort_unstable();
+    for i in ab_ids {
+        if let Some(e) = c.tables[&i].search_by_pc_tag(tag) {
+            return from_entry(e.pc, e.anchor_id, e.is_anchor);
+        }
+    }
+    // Fall back to scanning the tag's aliasing class in the layout
+    // (TEXT_BASE is 4096-aligned, so candidates step by one page).
+    debug_assert_eq!(TEXT_BASE % 4096, 0);
+    let mut pc = TEXT_BASE + tag as u64;
+    while pc < c.layout.text_end() {
+        if pc.is_multiple_of(INST_BYTES) && c.layout.inst_at(pc).is_some() {
+            return from_entry(pc, 0, false);
+        }
+        pc += 4096;
+    }
+    None
+}
+
+/// Human-readable form of a resolved tag: `func+0x10 (anchor #3): inst`.
+pub fn describe_tag(c: &Compiled, ab_id: u32, tag: u16) -> String {
+    match resolve_tag(c, ab_id, tag) {
+        Some(r) => {
+            let anchor = if r.is_anchor {
+                format!(" [anchor #{}]", r.anchor_id)
+            } else if r.anchor_id != 0 {
+                format!(" [-> anchor #{}]", r.anchor_id)
+            } else {
+                String::new()
+            };
+            format!("{}+{:#x}{}: {}", r.func, r.offset, anchor, r.inst)
+        }
+        None => "<unresolved>".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::ObsEvent;
+    use tm_ir::CodeLayout;
+
+    fn abort(victim: u16, aborter: u16) -> ObsKind {
+        ObsKind::TxAbort {
+            cause: AbortCause::Conflict,
+            conf_addr: 4096,
+            victim_pc_tag: victim,
+            aborter_pc_tag: aborter,
+            aborter: 1,
+        }
+    }
+
+    #[test]
+    fn conflict_pairs_track_enclosing_block() {
+        let streams = vec![vec![
+            ObsEvent {
+                clock: 0,
+                kind: ObsKind::TxBegin { ab_id: 7 },
+            },
+            ObsEvent {
+                clock: 10,
+                kind: abort(0x100, 0x200),
+            },
+            ObsEvent {
+                clock: 20,
+                kind: ObsKind::TxBegin { ab_id: 9 },
+            },
+            ObsEvent {
+                clock: 30,
+                kind: abort(0x100, 0x200),
+            },
+            ObsEvent {
+                clock: 40,
+                kind: ObsKind::TxBegin { ab_id: 9 },
+            },
+            ObsEvent {
+                clock: 50,
+                kind: abort(0x100, 0x200),
+            },
+        ]];
+        let pairs = conflict_pairs(&streams);
+        assert_eq!(pairs.len(), 2);
+        // Heaviest first; the ab 9 pair saw two aborts.
+        assert_eq!(
+            pairs[0],
+            ConflictPair {
+                ab_id: 9,
+                victim_tag: 0x100,
+                aborter_tag: 0x200,
+                count: 2
+            }
+        );
+        assert_eq!(pairs[1].ab_id, 7);
+        assert_eq!(pairs[1].count, 1);
+    }
+
+    #[test]
+    fn resolve_tag_finds_list_traversal() {
+        // Compile the real list workload and resolve a tag taken from its
+        // own anchor table: the round trip must name the same function.
+        let w = workloads::list::ListBench::hi();
+        use workloads::Workload;
+        let module = w.build_module();
+        let c = stagger_compiler::compile(&module);
+        let (&ab_id, table) = c
+            .tables
+            .iter()
+            .find(|(_, t)| !t.entries.is_empty())
+            .expect("list has an atomic block with accesses");
+        let e = &table.entries[0];
+        let tag = CodeLayout::truncate_pc(e.pc);
+        let r = resolve_tag(&c, ab_id, tag).expect("tag from the table resolves");
+        assert_eq!(r.pc, e.pc);
+        assert!(!r.func.is_empty());
+        assert!(!r.inst.is_empty());
+        let d = describe_tag(&c, ab_id, tag);
+        assert!(d.contains(&r.func));
+    }
+}

@@ -1,0 +1,96 @@
+//! The observability layer is a pure observer: turning event recording on
+//! must not change a single simulated cycle, statistic, trace entry, or
+//! thread return value. And the events it records must carry enough to
+//! reproduce the paper's profiling pass — on the contended list, conflict
+//! attribution has to point at the list-traversal access the staggered
+//! mode anchors on.
+
+use htm_sim::{Machine, MachineConfig};
+use stagger_bench::profiling::{conflict_pairs, resolve_tag};
+use stagger_bench::workload_set;
+use stagger_core::{Mode, RuntimeConfig};
+use workloads::PreparedWorkload;
+
+fn run_with_recording(
+    p: &PreparedWorkload,
+    mode: Mode,
+    record_events: bool,
+) -> (htm_sim::SimStats, Vec<Vec<htm_sim::TraceEvent>>, Vec<u64>) {
+    let mut mcfg = MachineConfig::with_cores(4);
+    mcfg.record_trace = true;
+    mcfg.record_events = record_events;
+    let machine = Machine::new(mcfg);
+    let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), 2015);
+    if record_events {
+        let n: usize = machine.take_events().iter().map(|s| s.len()).sum();
+        assert!(n > 0, "{}: recording on but no events", p.name());
+    }
+    (machine.stats(), machine.take_trace(), r.out.returns)
+}
+
+/// Event recording on vs off: bit-identical stats, traces and returns on a
+/// representative workload slice in both contended modes.
+#[test]
+fn event_recording_does_not_perturb_the_simulation() {
+    let picks = ["list-hi", "genome", "kmeans", "memcached"];
+    let set = workload_set(true);
+    for name in picks {
+        let w = set
+            .iter()
+            .find(|w| w.name() == name)
+            .unwrap_or_else(|| panic!("workload {name} missing from quick set"));
+        let p = PreparedWorkload::new(w.as_ref());
+        for mode in [Mode::Htm, Mode::Staggered] {
+            let off = run_with_recording(&p, mode, false);
+            let on = run_with_recording(&p, mode, true);
+            assert_eq!(
+                off.0,
+                on.0,
+                "{name} [{}]: stats perturbed by event recording",
+                mode.name()
+            );
+            assert_eq!(
+                off.1,
+                on.1,
+                "{name} [{}]: traces perturbed by event recording",
+                mode.name()
+            );
+            assert_eq!(
+                off.2,
+                on.2,
+                "{name} [{}]: returns perturbed by event recording",
+                mode.name()
+            );
+        }
+    }
+}
+
+/// The profiling pass on the contended list in plain HTM mode: the top
+/// conflicting PC pair must resolve — through the compiled program's
+/// anchor tables — to an access inside the list traversal, the very
+/// access the staggered modes anchor on.
+#[test]
+fn list_conflicts_attribute_to_the_traversal() {
+    let set = workload_set(true);
+    let w = set.iter().find(|w| w.name() == "list-hi").unwrap();
+    let p = PreparedWorkload::new(w.as_ref());
+    let mut mcfg = MachineConfig::with_cores(8);
+    mcfg.record_events = true;
+    let machine = Machine::new(mcfg);
+    p.run_on(&machine, &RuntimeConfig::with_mode(Mode::Htm), 2015);
+    let streams = machine.take_events();
+
+    let pairs = conflict_pairs(&streams);
+    assert!(!pairs.is_empty(), "contended list produced no conflicts");
+    let top = &pairs[0];
+    let victim = resolve_tag(p.compiled(), top.ab_id, top.victim_tag)
+        .expect("top victim tag resolves to the program");
+    assert_eq!(
+        victim.func, "list_find_prev",
+        "top conflict victim should be the list traversal, got {}+{:#x}",
+        victim.func, victim.offset
+    );
+    // The traversal access belongs to an anchor region — the one the
+    // staggered modes lock.
+    assert_ne!(victim.anchor_id, 0, "traversal access maps to an anchor");
+}

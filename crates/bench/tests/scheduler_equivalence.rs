@@ -2,30 +2,44 @@
 //! workload, the single-threaded cooperative driver and the legacy
 //! thread-per-core driver produce *byte-identical* simulations — same
 //! per-core statistics, same execution cycles, same begin/commit/abort
-//! traces. The schedulers may only differ in host-side mechanics, never
-//! in what the simulated machine does.
+//! traces, same cycle-stamped observability event streams. The schedulers
+//! may only differ in host-side mechanics, never in what the simulated
+//! machine does.
 
-use htm_sim::{Machine, MachineConfig, Scheduler};
+use htm_sim::{Machine, MachineConfig, ObsEvent, Scheduler};
 use stagger_bench::workload_set;
 use stagger_core::{Mode, RuntimeConfig};
 use workloads::PreparedWorkload;
 
-/// Run one prepared workload under the given scheduler and return
-/// everything the simulation produced: stats snapshot, traces, thread
-/// return values.
+/// Everything one simulation produced: stats snapshot, traces,
+/// observability event streams, thread return values.
+type RunArtifacts = (
+    htm_sim::SimStats,
+    Vec<Vec<htm_sim::TraceEvent>>,
+    Vec<Vec<ObsEvent>>,
+    Vec<u64>,
+);
+
+/// Run one prepared workload under the given scheduler.
 fn run_under(
     p: &PreparedWorkload,
     scheduler: Scheduler,
     mode: Mode,
     threads: usize,
     seed: u64,
-) -> (htm_sim::SimStats, Vec<Vec<htm_sim::TraceEvent>>, Vec<u64>) {
+) -> RunArtifacts {
     let mut mcfg = MachineConfig::with_cores(threads);
     mcfg.scheduler = scheduler;
     mcfg.record_trace = true;
+    mcfg.record_events = true;
     let machine = Machine::new(mcfg);
     let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), seed);
-    (machine.stats(), machine.take_trace(), r.out.returns)
+    (
+        machine.stats(),
+        machine.take_trace(),
+        machine.take_events(),
+        r.out.returns,
+    )
 }
 
 /// All ten workloads (`--quick` configs), both contended modes, both
@@ -56,6 +70,13 @@ fn cooperative_and_threaded_schedulers_are_bit_identical() {
             assert_eq!(
                 coop.2,
                 thr.2,
+                "{} [{}]: event streams diverged across schedulers",
+                w.name(),
+                mode.name()
+            );
+            assert_eq!(
+                coop.3,
+                thr.3,
                 "{} [{}]: thread return values diverged across schedulers",
                 w.name(),
                 mode.name()

@@ -89,6 +89,16 @@ pub struct MachineConfig {
     /// Record per-core transaction begin/commit/abort events with their
     /// logical timestamps (for the timeline renderer in [`crate::trace`]).
     pub record_trace: bool,
+    /// Record the full cycle-stamped observability event stream (see
+    /// [`crate::obs`]): transaction lifecycle with conflict attribution,
+    /// advisory-lock acquire/wait/timeout/release, backoff intervals and
+    /// irrevocable entry/exit. Purely an observer: simulated cycles,
+    /// stats and traces are bit-identical with recording on or off.
+    pub record_events: bool,
+    /// Per-core bound on buffered observability events; when a core's
+    /// ring fills, the oldest events are overwritten (and counted as
+    /// dropped). 0 disables buffering entirely even with `record_events`.
+    pub event_ring_capacity: usize,
     /// Host-side core driver. Purely a host-performance knob: simulated
     /// cycles, stats and traces are identical across schedulers. The
     /// `HTM_SIM_SCHEDULER` environment variable (`cooperative`/`threads`)
@@ -119,6 +129,8 @@ impl Default for MachineConfig {
             pc_tag_bits: 12,
             protocol: HtmProtocol::Eager,
             record_trace: false,
+            record_events: false,
+            event_ring_capacity: 1 << 20,
             scheduler: Scheduler::Cooperative,
         }
     }

@@ -29,6 +29,7 @@
 
 use crate::addr::Addr;
 use crate::config::{MachineConfig, Scheduler};
+use crate::obs::{EventRing, ObsEvent, ObsKind};
 use crate::sim::{AbortCause, SimState, TraceEvent, TxError};
 use crate::stats::SimStats;
 use std::future::Future;
@@ -119,6 +120,7 @@ impl Machine {
                     tid,
                     pending: 0,
                     last_clock: 0,
+                    record: self.cfg.record_events,
                 }))
             })
             .collect();
@@ -147,12 +149,14 @@ impl Machine {
         std::thread::scope(|s| {
             for (tid, mk) in bodies.into_iter().enumerate() {
                 let shared = &*self.shared;
+                let record = self.cfg.record_events;
                 s.spawn(move || {
                     let mut prog = mk(Core {
                         shared,
                         tid,
                         pending: 0,
                         last_clock: 0,
+                        record,
                     });
                     let mut cx = Context::from_waker(Waker::noop());
                     while prog.as_mut().poll(&mut cx).is_pending() {
@@ -223,6 +227,21 @@ impl Machine {
             .collect()
     }
 
+    /// Move out the per-core observability event streams, oldest first
+    /// (empty unless [`MachineConfig::record_events`] was set). Consuming
+    /// like [`Machine::take_trace`]: each core's ring is replaced with a
+    /// fresh one of the same capacity.
+    pub fn take_events(&self) -> Vec<Vec<ObsEvent>> {
+        let mut st = self.shared.lock();
+        st.cores
+            .iter_mut()
+            .map(|c| {
+                let cap = c.events.capacity();
+                std::mem::replace(&mut c.events, EventRing::new(cap)).into_vec()
+            })
+            .collect()
+    }
+
     /// Host-side allocation for setup (no simulated cycles).
     pub fn host_alloc(&self, words: u64, line_align: bool) -> Addr {
         self.shared.lock().host_alloc(words, line_align)
@@ -250,6 +269,9 @@ pub struct Core<'m> {
     pending: u64,
     /// Clock value observed at the last gate (plus pending = `now`).
     last_clock: u64,
+    /// Cached [`MachineConfig::record_events`]: when false, [`Core::note`]
+    /// is a single branch (no lock, no allocation).
+    record: bool,
 }
 
 impl<'m> Core<'m> {
@@ -419,6 +441,20 @@ impl<'m> Core<'m> {
             ((), 0)
         })
         .await
+    }
+
+    /// Record an observability event at this core's current logical time
+    /// ([`Core::now`], which includes pending compute cycles). NOT a gated
+    /// op: it pushes to this core's own ring without advancing any clock or
+    /// touching any counter, so recording cannot perturb the simulation —
+    /// and with [`MachineConfig::record_events`] off it is a single branch.
+    pub fn note(&mut self, kind: ObsKind) {
+        if !self.record {
+            return;
+        }
+        let tid = self.tid;
+        let clock = self.now();
+        self.shared.lock().note_at(tid, clock, kind);
     }
 }
 

@@ -9,6 +9,7 @@ use crate::addr::WORDS_PER_LINE;
 use crate::addr::{line_of, word_index, Addr, LINE_BYTES, WORD_BYTES};
 use crate::cache::CacheArray;
 use crate::config::{HtmProtocol, MachineConfig};
+use crate::obs::{EventRing, ObsEvent, ObsKind};
 use crate::stats::CoreStats;
 
 /// Why a transaction aborted.
@@ -171,6 +172,17 @@ pub enum TraceKind {
     Abort,
 }
 
+/// A pending remote-initiated abort: what the hardware delivers to the
+/// victim ([`AbortInfo`]) plus the observability-only attribution of who
+/// doomed it — the requester core and the 12-bit tag of the requesting
+/// access's PC (0 for nontransactional requesters).
+#[derive(Debug, Clone, Copy)]
+struct Doomed {
+    info: AbortInfo,
+    aborter: u32,
+    aborter_pc_tag: u16,
+}
+
 /// Per-core simulator state.
 pub(crate) struct CoreState {
     pub clock: u64,
@@ -182,11 +194,12 @@ pub(crate) struct CoreState {
     /// Recycled transaction state: buffers from the last finished
     /// transaction, reused by the next `tx_begin` to avoid reallocation.
     spare_tx: Option<TxState>,
-    doomed: Option<AbortInfo>,
+    doomed: Option<Doomed>,
     pub stats: CoreStats,
     arena_next: Addr,
     arena_end: Addr,
     pub trace: Vec<TraceEvent>,
+    pub events: EventRing,
 }
 
 /// Speculative ownership of one line across cores. Under the eager
@@ -238,6 +251,7 @@ impl SimState {
                 arena_next: 0,
                 arena_end: 0,
                 trace: Vec::new(),
+                events: EventRing::new(cfg.event_ring_capacity),
             })
             .collect();
         SimState {
@@ -366,7 +380,7 @@ impl SimState {
     /// abort-delivery cost (pipeline flush + handler dispatch + undo-log
     /// write-back, already performed by the requester on our behalf).
     fn check_doomed(&mut self, tid: usize) -> Result<(), TxError> {
-        if let Some(info) = self.cores[tid].doomed.take() {
+        if let Some(d) = self.cores[tid].doomed.take() {
             let abort_cost = self.cfg.tx_abort_cost;
             let core = &mut self.cores[tid];
             core.clock += abort_cost;
@@ -377,7 +391,17 @@ impl SimState {
             }
             core.stats.conflict_aborts += 1;
             self.record(tid, TraceKind::Abort);
-            return Err(TxError::Aborted(info));
+            self.note(
+                tid,
+                ObsKind::TxAbort {
+                    cause: d.info.cause,
+                    conf_addr: d.info.conf_addr,
+                    victim_pc_tag: d.info.conf_pc_tag,
+                    aborter_pc_tag: d.aborter_pc_tag,
+                    aborter: d.aborter,
+                },
+            );
+            return Err(TxError::Aborted(d.info));
         }
         Ok(())
     }
@@ -385,8 +409,10 @@ impl SimState {
     /// Roll back `victim`'s transaction in place and mark it doomed with
     /// conflict info for `conf_addr`. Called by the *requester* under the
     /// simulator lock — the hardware analogue of the coherence message that
-    /// kills the victim.
-    fn doom(&mut self, victim: usize, conf_addr: Addr) {
+    /// kills the victim. `requester`/`req_pc` identify the winning access
+    /// for conflict attribution (observability only; `req_pc` is 0 for
+    /// nontransactional requesters).
+    fn doom(&mut self, victim: usize, conf_addr: Addr, requester: usize, req_pc: u64) {
         let pc_mask = self.cfg.pc_tag_mask();
         let core = &mut self.cores[victim];
         let Some(tx) = core.tx.as_mut() else {
@@ -401,11 +427,15 @@ impl SimState {
         let first = tx.first_pc_of(line);
         let lines = std::mem::take(&mut tx.lines);
         tx.rolled_back = true;
-        core.doomed = Some(AbortInfo {
-            cause: AbortCause::Conflict,
-            conf_addr: crate::addr::line_addr(conf_addr),
-            conf_pc_tag: (first & pc_mask) as u16,
-            true_first_pc: first,
+        core.doomed = Some(Doomed {
+            info: AbortInfo {
+                cause: AbortCause::Conflict,
+                conf_addr: crate::addr::line_addr(conf_addr),
+                conf_pc_tag: (first & pc_mask) as u16,
+                true_first_pc: first,
+            },
+            aborter: requester as u32,
+            aborter_pc_tag: (req_pc & pc_mask) as u16,
         });
         for &(addr, old) in undo.iter().rev() {
             self.write_word(addr, old);
@@ -438,8 +468,10 @@ impl SimState {
     }
 
     /// Abort every other core that holds `line` speculatively in a way that
-    /// conflicts with an access of kind `is_write` by `tid`.
-    fn resolve_conflicts(&mut self, tid: usize, addr: Addr, is_write: bool) {
+    /// conflicts with an access of kind `is_write` by `tid`. `req_pc` is
+    /// the requesting access's PC (0 when nontransactional), recorded for
+    /// conflict attribution.
+    fn resolve_conflicts(&mut self, tid: usize, addr: Addr, is_write: bool, req_pc: u64) {
         let line = line_of(addr);
         let Some(o) = self.owners.get(line as usize).copied() else {
             return;
@@ -451,7 +483,7 @@ impl SimState {
         while mask != 0 {
             let v = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            self.doom(v, addr);
+            self.doom(v, addr, tid, req_pc);
         }
     }
 
@@ -462,9 +494,29 @@ impl SimState {
         }
     }
 
+    /// Record an observability event for `tid` at its current clock.
+    /// Piggybacks on operations that happen anyway (never a gated op of
+    /// its own), so recording cannot perturb simulated time.
+    fn note(&mut self, tid: usize, kind: ObsKind) {
+        if self.cfg.record_events {
+            let clock = self.cores[tid].clock;
+            self.cores[tid].events.push(ObsEvent { clock, kind });
+        }
+    }
+
+    /// Record an observability event for `tid` at an explicit clock —
+    /// used by [`crate::machine::Core`] hooks whose logical time includes
+    /// not-yet-folded pending cycles.
+    pub fn note_at(&mut self, tid: usize, clock: u64, kind: ObsKind) {
+        if self.cfg.record_events {
+            self.cores[tid].events.push(ObsEvent { clock, kind });
+        }
+    }
+
     /// Begin a hardware transaction on `tid`.
     pub fn tx_begin(&mut self, tid: usize, ab_id: u32) -> u64 {
         self.record(tid, TraceKind::Begin(ab_id));
+        self.note(tid, ObsKind::TxBegin { ab_id });
         let core = &mut self.cores[tid];
         assert!(
             core.tx.is_none(),
@@ -497,7 +549,7 @@ impl SimState {
         assert!(self.tx_active(tid), "tx_load outside transaction");
         if self.cfg.protocol == HtmProtocol::Eager {
             // Eager: a read request aborts any remote speculative writer.
-            self.resolve_conflicts(tid, addr, false);
+            self.resolve_conflicts(tid, addr, false, pc);
         }
         let line = line_of(addr);
         match self.touch_caches(tid, line, true) {
@@ -529,7 +581,7 @@ impl SimState {
         assert!(self.tx_active(tid), "tx_store outside transaction");
         let eager = self.cfg.protocol == HtmProtocol::Eager;
         if eager {
-            self.resolve_conflicts(tid, addr, true);
+            self.resolve_conflicts(tid, addr, true, pc);
         }
         let line = line_of(addr);
         match self.touch_caches(tid, line, true) {
@@ -581,6 +633,16 @@ impl SimState {
         }
         self.cores[tid].spare_tx = Some(tx);
         self.record(tid, TraceKind::Abort);
+        self.note(
+            tid,
+            ObsKind::TxAbort {
+                cause,
+                conf_addr: 0,
+                victim_pc_tag: 0,
+                aborter_pc_tag: 0,
+                aborter: tid as u32,
+            },
+        );
         TxError::Aborted(AbortInfo::simple(cause))
     }
 
@@ -601,8 +663,9 @@ impl SimState {
                 .take()
                 .expect("commit without transaction");
             for e in tx.lines.iter().filter(|e| e.written) {
-                // Committer wins: doom every other reader/writer of the line.
-                self.resolve_conflicts(tid, e.line * crate::addr::LINE_BYTES, true);
+                // Committer wins: doom every other reader/writer of the
+                // line, attributed to the committer's first access to it.
+                self.resolve_conflicts(tid, e.line * crate::addr::LINE_BYTES, true, e.first_pc);
             }
             commit_cost += tx.write_buffer.len() as u64; // write-back bandwidth
             for &(addr, val) in &tx.write_buffer {
@@ -620,6 +683,7 @@ impl SimState {
         self.release_ownership(tid, &tx.lines);
         self.cores[tid].spare_tx = Some(tx);
         self.record(tid, TraceKind::Commit);
+        self.note(tid, ObsKind::TxCommit);
         (Ok(()), commit_cost)
     }
 
@@ -633,7 +697,7 @@ impl SimState {
     /// transactionally.
     pub fn plain_load(&mut self, tid: usize, addr: Addr) -> (u64, u64) {
         if self.cfg.protocol == HtmProtocol::Eager {
-            self.resolve_conflicts(tid, addr, false);
+            self.resolve_conflicts(tid, addr, false, 0);
         }
         // Lazy: uncommitted data never reaches memory, so a plain read is
         // always consistent without dooming anyone.
@@ -665,7 +729,7 @@ impl SimState {
                 .is_none_or(|t| !t.spec_contains(line)),
             "NT store to own speculative line {line:#x}"
         );
-        self.resolve_conflicts(tid, addr, true);
+        self.resolve_conflicts(tid, addr, true, 0);
         let lat = self
             .touch_caches(tid, line, false)
             .expect("nontransactional fills cannot overflow");
@@ -681,7 +745,7 @@ impl SimState {
         let line = line_of(addr);
         let cur = self.read_word(addr);
         if cur == old {
-            self.resolve_conflicts(tid, addr, true);
+            self.resolve_conflicts(tid, addr, true, 0);
             let lat = self.touch_caches(tid, line, false).unwrap();
             self.cores[tid].stats.nt_mem_ops += 1;
             self.write_word(addr, new);

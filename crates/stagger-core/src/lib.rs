@@ -38,6 +38,7 @@ pub mod runtime;
 
 pub use context::{ABContext, Activation};
 pub use history::AbortHistory;
+pub use htm_sim::obs;
 pub use locks::{GlobalLock, LockTable};
 pub use policy::{activate_alpoint, PolicyConfig};
 pub use runtime::{Mode, RtStats, RuntimeConfig, SharedRt, ThreadRuntime};

@@ -6,6 +6,7 @@
 //! paper requires (Section 4). Acquiring an advisory lock therefore never
 //! grows a read/write set and never causes an abort by itself.
 
+use htm_sim::obs::ObsKind;
 use htm_sim::{line_of, Addr, Core, Machine, LINE_BYTES};
 
 /// A static, pre-allocated array of advisory locks, chosen by hashing the
@@ -45,7 +46,13 @@ impl LockTable {
     pub async fn try_acquire(&self, core: &mut Core<'_>, addr: Addr) -> Option<Addr> {
         let word = self.lock_addr_for(addr);
         let me = core.tid() as u64 + 1;
-        core.nt_cas(word, 0, me).await.then_some(word)
+        if core.nt_cas(word, 0, me).await {
+            core.note(ObsKind::LockAcquire { word, waited: 0 });
+            Some(word)
+        } else {
+            core.note(ObsKind::LockTimeout { word, waited: 0 });
+            None
+        }
     }
 
     /// Mark a lock word as contended (a waiter spun on it). The flag lives
@@ -74,10 +81,12 @@ impl LockTable {
         let mut waited = 0u64;
         loop {
             if core.nt_cas(word, 0, me).await {
+                core.note(ObsKind::LockAcquire { word, waited });
                 return Some(word);
             }
             Self::mark_contended(core, word).await;
             if waited >= timeout_cycles {
+                core.note(ObsKind::LockTimeout { word, waited });
                 return None;
             }
             core.charge_lock_wait(spin_quantum).await;
@@ -99,6 +108,7 @@ impl LockTable {
             core.nt_store(word + 8, 0).await;
         }
         core.nt_store(word, 0).await;
+        core.note(ObsKind::LockRelease { word, contended });
         contended
     }
 }

@@ -557,7 +557,9 @@ impl<'c> ThreadRuntime<'c> {
     pub async fn backoff(&mut self, core: &mut Core<'_>, retries: u32) {
         let mean = self.cfg.backoff_base * (retries as u64 + 1);
         let jitter = self.next_rand(mean.max(1));
-        core.charge_backoff(mean / 2 + jitter).await;
+        let cycles = mean / 2 + jitter;
+        core.charge_backoff(cycles).await;
+        core.note(htm_sim::obs::ObsKind::Backoff { cycles });
     }
 
     /// The irrevocable-fallback global lock.

@@ -143,11 +143,16 @@ impl<'c> Executor<'c> {
                     // speculative readers/writers (requester wins).
                     gl.acquire(core, spin).await;
                     let t0 = core.now();
+                    core.note(htm_sim::obs::ObsKind::IrrevocableEnter);
                     let r = self
                         .exec_function(core, prepared, fid, args, None)
                         .await
                         .expect("irrevocable execution cannot abort");
                     let dt = core.now().saturating_sub(t0);
+                    // Stamp the exit before the release/stat ops advance the
+                    // clock, so the event's [clock - cycles, clock] span is
+                    // exactly the lock-held execution window.
+                    core.note(htm_sim::obs::ObsKind::IrrevocableExit { cycles: dt });
                     gl.release(core).await;
                     core.record_irrevocable(dt).await;
                     self.stats.irrevocable_txns += 1;

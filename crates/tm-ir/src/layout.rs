@@ -84,6 +84,18 @@ impl CodeLayout {
         self.func_base[f.index()]
     }
 
+    /// The function whose text range contains `pc`, if any — the inverse
+    /// of [`CodeLayout::func_start`], for resolving profiled PCs back to
+    /// names. `func_base` is built in ascending PC order, so this is a
+    /// binary search.
+    pub fn func_at(&self, pc: Pc) -> Option<FuncId> {
+        if pc >= self.end {
+            return None;
+        }
+        let i = self.func_base.partition_point(|&base| base <= pc);
+        i.checked_sub(1).map(|i| FuncId(i as u32))
+    }
+
     /// One past the last assigned PC.
     pub fn text_end(&self) -> Pc {
         self.end
@@ -145,6 +157,20 @@ mod tests {
         let g = m.expect("g");
         assert_eq!(l.func_start(f), TEXT_BASE);
         assert!(l.func_start(g) > l.func_start(f));
+    }
+
+    #[test]
+    fn func_at_inverts_func_start() {
+        let m = two_func_module();
+        let l = CodeLayout::build(&m);
+        let f = m.expect("f");
+        let g = m.expect("g");
+        assert_eq!(l.func_at(l.func_start(f)), Some(f));
+        assert_eq!(l.func_at(l.func_start(g)), Some(g));
+        assert_eq!(l.func_at(l.func_start(g) - INST_BYTES), Some(f));
+        assert_eq!(l.func_at(l.text_end() - INST_BYTES), Some(g));
+        assert_eq!(l.func_at(l.text_end()), None, "past the text segment");
+        assert_eq!(l.func_at(TEXT_BASE - 4), None, "before the text segment");
     }
 
     #[test]

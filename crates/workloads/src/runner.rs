@@ -101,6 +101,13 @@ impl<'w> PreparedWorkload<'w> {
         &self.compiled.stats
     }
 
+    /// The compiled program: module, code layout and unified anchor
+    /// tables — what a profiler needs to resolve PC tags back to IR
+    /// functions and instructions.
+    pub fn compiled(&self) -> &Compiled {
+        &self.compiled
+    }
+
     /// Run on `n_threads` simulated cores in `mode` with default machine
     /// and runtime configuration.
     pub fn run(&self, mode: Mode, n_threads: usize, seed: u64) -> BenchResult {

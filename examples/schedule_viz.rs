@@ -2,11 +2,12 @@
 //! threads executing conflicting transactions on the baseline eager HTM
 //! versus with Staggered Transactions.
 //!
-//! Legend: `=` inside a transaction, `x` abort, `C` commit, `.` outside.
+//! Legend: `=` inside a transaction, `x` abort, `C` commit, `-` waiting on
+//! an advisory lock, `L` irrevocable (global-lock) execution, `.` outside.
 //!
 //! Run with: `cargo run --release --example schedule_viz`
 
-use staggered_tx::htm_sim::{trace::render_timeline, Machine, MachineConfig};
+use staggered_tx::htm_sim::{trace::render_timeline_events, Machine, MachineConfig};
 use staggered_tx::stagger_compiler::compile;
 use staggered_tx::stagger_core::{Mode, RuntimeConfig};
 use staggered_tx::tm_interp::{run_workload, ThreadPlan};
@@ -50,7 +51,7 @@ fn run_and_render(mode: Mode, rounds: u64) -> (String, u64, u64) {
     let module = build_module();
     let compiled = compile(&module);
     let mut mcfg = MachineConfig::small(3);
-    mcfg.record_trace = true;
+    mcfg.record_events = true;
     let machine = Machine::new(mcfg);
     let shared = machine.host_alloc(8, true);
     let plans: Vec<ThreadPlan> = (0..3)
@@ -65,14 +66,16 @@ fn run_and_render(mode: Mode, rounds: u64) -> (String, u64, u64) {
     let mut rt_cfg = RuntimeConfig::with_mode(mode);
     rt_cfg.min_conflict_rate = 0.15;
     let out = run_workload(&machine, &compiled, &rt_cfg, &plans, 5);
-    let timeline = render_timeline(&machine.take_trace(), 72);
+    let timeline = render_timeline_events(&machine.take_events(), 72);
     (timeline, out.sim.aggregate().aborts(), out.sim.exec_cycles)
 }
 
 fn main() {
     let rounds = 10;
     println!("Figure 1, drawn from a real run (3 threads x {rounds} transactions).");
-    println!("Legend: '=' in transaction, 'x' abort, 'C' commit, '.' outside.\n");
+    println!(
+        "Legend: '=' in transaction, 'x' abort, 'C' commit, '-' lock wait, 'L' irrevocable, '.' outside.\n"
+    );
 
     let (t1, aborts1, cyc1) = run_and_render(Mode::Htm, rounds);
     println!("(a) eager HTM — {aborts1} aborts, {cyc1} cycles");

@@ -4,9 +4,11 @@
 #   scripts/ci.sh
 #
 # Steps: format check, release build (workspace root + exhibit binaries),
-# tier-1 tests, workspace tests, and a parallel-harness smoke run of
+# tier-1 tests, workspace tests, a parallel-harness smoke run of
 # fig7 --quick whose output (including the machine-readable
-# results/BENCH_fig7.json) is recorded under results/.
+# results/BENCH_fig7.json) is recorded under results/, and a profile
+# --quick smoke run whose text report and JSONL event dump are recorded
+# and sanity-checked.
 #
 # Everything runs with --offline: the workspace has no external
 # dependencies by design, and CI must not depend on a registry.
@@ -34,5 +36,19 @@ cargo test -q --offline --workspace
 echo "== fig7 --quick --jobs 2 --json (harness smoke)"
 mkdir -p results
 ./target/release/fig7 --quick --jobs 2 --json | tee results/ci_fig7_quick.txt
+
+echo "== profile --quick --trace-out (observability smoke)"
+./target/release/profile --quick --trace-out results/profile_events.jsonl \
+  | tee results/profile_list-hi.txt
+# The JSONL event dump must be non-empty, line-oriented JSON objects
+# carrying the documented keys.
+test -s results/profile_events.jsonl
+head -n 1 results/profile_events.jsonl | grep -q '"clock"'
+head -n 1 results/profile_events.jsonl | grep -q '"kind"'
+if grep -qv '^{.*}$' results/profile_events.jsonl; then
+    echo "ci.sh: malformed JSONL line in results/profile_events.jsonl" >&2
+    exit 1
+fi
+grep -q 'list_find_prev' results/profile_list-hi.txt
 
 echo "== ci.sh: all gates passed"
