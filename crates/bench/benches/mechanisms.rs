@@ -104,7 +104,7 @@ fn bench_locks() {
     // Measure the simulated-machine path end to end (host wall time of a
     // sequence of lock ops on one core).
     time_case("locks/acquire_release_uncontended", 200, || {
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {

@@ -18,12 +18,12 @@
 //! section's runs go through the parallel job runner.
 
 use htm_sim::{HtmProtocol, MachineConfig};
-use stagger_bench::{run_jobs, Opts, Report};
+use stagger_bench::{run_jobs, CommonOpts, Report};
 use stagger_core::{Mode, RuntimeConfig};
 use workloads::PreparedWorkload;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("ablations", &opts);
     let threads = opts.threads;
 
@@ -66,10 +66,7 @@ fn main() {
             .map(|&(p, proto, mode)| {
                 let report = &report;
                 move || {
-                    let mcfg = MachineConfig {
-                        protocol: proto,
-                        ..MachineConfig::with_cores(threads)
-                    };
+                    let mcfg = MachineConfig::cores(threads).protocol(proto);
                     report.run_cfg(p, opts.seed, mcfg, RuntimeConfig::with_mode(mode))
                 }
             })
@@ -110,17 +107,14 @@ fn main() {
         report.run_cfg(
             p_memcached,
             opts.seed,
-            MachineConfig::with_cores(threads),
+            MachineConfig::cores(threads),
             RuntimeConfig::with_mode(Mode::Htm),
         )
     }));
     for bits in BITS {
         let report = &report;
         jobs.push(Box::new(move || {
-            let mcfg = MachineConfig {
-                pc_tag_bits: bits,
-                ..MachineConfig::with_cores(threads)
-            };
+            let mcfg = MachineConfig::cores(threads).pc_tag_bits(bits);
             report.run_cfg(
                 p_memcached,
                 opts.seed,
@@ -163,7 +157,7 @@ fn main() {
                     let mut rt = RuntimeConfig::with_mode(Mode::Staggered);
                     rt.lock_timeout = timeout;
                     rt.min_conflict_rate = 0.3;
-                    report.run_cfg(p_list, opts.seed, MachineConfig::with_cores(threads), rt)
+                    report.run_cfg(p_list, opts.seed, MachineConfig::cores(threads), rt)
                 }
             })
             .into_iter()

@@ -2,24 +2,48 @@
 //! exhibit; used to tune and debug the policy). `--hist` adds per-mode
 //! top lock-word / anchor / conflict-address histograms.
 
-use stagger_bench::{prepare_all, run_jobs, workload_set, Opts, Report};
+use stagger_bench::{prepare_all, run_jobs, workload_set, Args, CommonOpts, Report};
 use stagger_core::Mode;
 
+/// diag's option set: the common flags plus `--hist`.
+struct DiagOpts {
+    common: CommonOpts,
+    hist: bool,
+}
+
+impl DiagOpts {
+    fn from_args() -> DiagOpts {
+        let mut hist = false;
+        let common = CommonOpts::parse_with(
+            "[--hist]",
+            "diag options:\n  --hist           add per-mode top lock-word / anchor / conflict-address histograms",
+            |_a: &mut Args, flag: &str| match flag {
+                "--hist" => {
+                    hist = true;
+                    true
+                }
+                _ => false,
+            },
+        );
+        DiagOpts { common, hist }
+    }
+}
+
 fn main() {
-    let opts = Opts::from_args();
-    let report = Report::new("diag", &opts);
-    let set = workload_set(opts.quick);
-    let prepared = prepare_all(&set, opts.jobs);
+    let opts = DiagOpts::from_args();
+    let report = Report::new("diag", &opts.common);
+    let set = workload_set(opts.common.quick);
+    let prepared = prepare_all(&set, opts.common.jobs);
 
     let seqs = run_jobs(
         prepared
             .iter()
             .map(|p| {
                 let report = &report;
-                move || report.run_sequential(p, opts.seed)
+                move || report.run_sequential(p, opts.common.seed)
             })
             .collect(),
-        opts.jobs,
+        opts.common.jobs,
     );
     let runs = run_jobs(
         prepared
@@ -27,11 +51,11 @@ fn main() {
             .flat_map(|p| {
                 Mode::ALL.map(|mode| {
                     let report = &report;
-                    move || report.run(p, mode, opts.threads, opts.seed)
+                    move || report.run(p, mode, opts.common.threads, opts.common.seed)
                 })
             })
             .collect(),
-        opts.jobs,
+        opts.common.jobs,
     );
 
     for ((p, seq), row) in prepared.iter().zip(&seqs).zip(runs.chunks(Mode::ALL.len())) {

@@ -5,11 +5,13 @@
 //! first, then the three instrumented modes against them); rows print in
 //! workload order regardless of `--jobs`.
 
-use stagger_bench::{harmonic_mean, paper, prepare_all, run_jobs, workload_set, Opts, Report};
+use stagger_bench::{
+    harmonic_mean, paper, prepare_all, run_jobs, workload_set, CommonOpts, Report,
+};
 use stagger_core::Mode;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("fig7", &opts);
     println!(
         "Figure 7: speedup normalized to eager HTM, {} threads{}",

@@ -2,11 +2,11 @@
 //! baseline HTM vs full Staggered Transactions, 16 threads; plus the
 //! paper's headline reductions.
 
-use stagger_bench::{paper, prepare_all, run_jobs, workload_set, Opts, Report};
+use stagger_bench::{paper, prepare_all, run_jobs, workload_set, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("fig8", &opts);
     println!(
         "Figure 8: contention and wasted work, {} threads{}",

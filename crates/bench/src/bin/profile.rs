@@ -12,29 +12,75 @@
 use htm_sim::obs::{log2_bucket, write_jsonl, AbortBreakdown, ConflictMatrix, WaitHistogram};
 use htm_sim::{Machine, MachineConfig};
 use stagger_bench::profiling::{conflict_pairs, describe_tag};
-use stagger_bench::{workload_set, Opts, Report};
+use stagger_bench::{parse_mode, Args, CommonOpts, Report};
 use stagger_core::{Mode, RuntimeConfig};
 use workloads::PreparedWorkload;
 
-fn main() {
-    let opts = Opts::from_args();
-    let report = Report::new("profile", &opts);
-    let name = opts.workload.clone().unwrap_or_else(|| "list-hi".into());
-    let mode = opts.mode.unwrap_or(Mode::Htm);
+/// profile's option set: the common flags plus the profiling target.
+struct ProfileOpts {
+    common: CommonOpts,
+    workload: String,
+    mode: Mode,
+    trace_out: Option<String>,
+}
 
-    let set = workload_set(opts.quick);
-    let Some(w) = set.iter().find(|w| w.name() == name) else {
-        let names: Vec<&str> = set.iter().map(|w| w.name()).collect();
+impl ProfileOpts {
+    fn from_args() -> ProfileOpts {
+        let mut workload = "list-hi".to_string();
+        let mut mode = Mode::Htm;
+        let mut trace_out: Option<String> = None;
+        let common = CommonOpts::parse_with(
+            "[--workload W] [--mode M] [--trace-out FILE]",
+            "profile options:\n  \
+             --workload W     workload to profile (default list-hi)\n  \
+             --mode M         execution mode to profile (default HTM)\n  \
+             --trace-out FILE also dump the raw event stream as JSONL",
+            |a: &mut Args, flag: &str| match flag {
+                "--workload" => {
+                    workload = a.value("--workload");
+                    true
+                }
+                "--mode" => {
+                    let v = a.value("--mode");
+                    mode = parse_mode(&v)
+                        .unwrap_or_else(|| a.fail(&format!("invalid --mode value '{v}'")));
+                    true
+                }
+                "--trace-out" => {
+                    trace_out = Some(a.value("--trace-out"));
+                    true
+                }
+                _ => false,
+            },
+        );
+        ProfileOpts {
+            common,
+            workload,
+            mode,
+            trace_out,
+        }
+    }
+}
+
+fn main() {
+    let opts = ProfileOpts::from_args();
+    let report = Report::new("profile", &opts.common);
+    let name = &opts.workload;
+    let mode = opts.mode;
+
+    let Some(w) = workloads::workload_by_name(name, opts.common.quick) else {
         eprintln!("profile: unknown workload '{name}'");
-        eprintln!("available: {}", names.join(" "));
+        eprintln!("available: {}", workloads::workload_names().join(" "));
         std::process::exit(2);
     };
     let p = PreparedWorkload::new(w.as_ref());
 
-    let mut mcfg = MachineConfig::with_cores(opts.threads);
-    mcfg.record_events = true;
+    let mut mcfg = MachineConfig::cores(opts.common.threads).record_events();
+    if let Some(s) = opts.common.scheduler {
+        mcfg = mcfg.scheduler(s);
+    }
     let machine = Machine::new(mcfg);
-    let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), opts.seed);
+    let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), opts.common.seed);
     report.record(&r);
     let streams = machine.take_events();
     let n_events: usize = streams.iter().map(|s| s.len()).sum();
@@ -42,11 +88,11 @@ fn main() {
     println!(
         "profile: {name} [{}] x{} threads, seed {} — {} cycles, {} events{}",
         mode.name(),
-        opts.threads,
-        opts.seed,
+        opts.common.threads,
+        opts.common.seed,
         r.cycles(),
         n_events,
-        if opts.quick { " (quick)" } else { "" }
+        if opts.common.quick { " (quick)" } else { "" }
     );
 
     let b = AbortBreakdown::from_events(&streams);

@@ -2,11 +2,11 @@
 //! HTM at 16 threads): speedup, % irrevocable, wasted/useful ratio, and
 //! the LA/LP locality of contention addresses and PCs.
 
-use stagger_bench::{paper, prepare_all, run_jobs, workload_set, yn, Opts, Report};
+use stagger_bench::{paper, prepare_all, run_jobs, workload_set, yn, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("table1", &opts);
     println!(
         "Table 1: baseline HTM contention, {} threads{} (paper values in parentheses)",

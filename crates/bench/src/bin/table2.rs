@@ -2,13 +2,13 @@
 //! `MachineConfig` defaults versus the paper's MARSSx86/ASF setup).
 
 use htm_sim::MachineConfig;
-use stagger_bench::{Opts, Report};
+use stagger_bench::{CommonOpts, Report};
 
 fn main() {
     // Table 2 is static (no simulator runs), but it accepts the common
     // harness flags so every exhibit has a uniform command line; --json
     // still writes a (zero-run) results/BENCH_table2.json.
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("table2", &opts);
     let c = MachineConfig::default();
     println!("Table 2: HTM simulator configuration");

@@ -3,11 +3,11 @@
 //! committed transaction (1 thread), single-thread execution-time increase,
 //! and anchor-identification accuracy at 16 threads.
 
-use stagger_bench::{paper, prepare_all, run_jobs, workload_set, Opts, Report};
+use stagger_bench::{paper, prepare_all, run_jobs, workload_set, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("table3", &opts);
     println!(
         "Table 3: instrumentation statistics{} (paper values in parentheses)",

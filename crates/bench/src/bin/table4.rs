@@ -1,11 +1,13 @@
 //! Table 4 — benchmark characteristics on the baseline eager HTM at 16
 //! threads: atomic blocks, %TM, speedup, aborts/commit, contention class.
 
-use stagger_bench::{contention_class, paper, prepare_all, run_jobs, workload_set, Opts, Report};
+use stagger_bench::{
+    contention_class, paper, prepare_all, run_jobs, workload_set, CommonOpts, Report,
+};
 use stagger_core::Mode;
 
 fn main() {
-    let opts = Opts::from_args();
+    let opts = CommonOpts::from_args();
     let report = Report::new("table4", &opts);
     println!(
         "Table 4: benchmark characteristics, {} threads{} (paper values in parentheses)",

@@ -10,10 +10,14 @@
 //! | `table4` | Table 4 — benchmark characteristics |
 //! | `fig7` | Figure 7 — speedup of all four modes normalized to HTM |
 //! | `fig8` | Figure 8 — aborts/commit and wasted/useful cycles |
+//! | `sweep` | declarative ablation sweeps over [`RunSpec`] grids |
 //!
-//! Run with `cargo run -p stagger-bench --release --bin <name>`. Options
-//! (see [`Opts`]): `--threads N`, `--quick`, `--seed N`, `--jobs N`,
-//! `--json`. Every exhibit compiles each workload once
+//! Run with `cargo run -p stagger-bench --release --bin <name>`. Common
+//! options (see [`CommonOpts`]): `--threads N`, `--quick`, `--seed N`,
+//! `--jobs N`, `--json`, `--scheduler S`; binaries with extra flags
+//! (profile, diag, sweep) extend the set via [`CommonOpts::parse_with`],
+//! so each `--help` lists exactly the flags that binary understands.
+//! Every exhibit compiles each workload once
 //! ([`PreparedWorkload`]) and submits its simulator runs to a parallel job
 //! runner ([`jobs::run_jobs`]); results and output order are deterministic
 //! at any `--jobs` level because each run is an independent deterministic
@@ -27,6 +31,7 @@
 //! advisory-lock acquire/release, anchor-table lookups, and compile-pass
 //! time.
 
+use htm_sim::Scheduler;
 use stagger_core::Mode;
 use workloads::{BenchResult, PreparedWorkload, Workload};
 
@@ -34,33 +39,123 @@ pub mod jobs;
 pub mod paper;
 pub mod profiling;
 pub mod report;
+pub mod sweep;
 
 pub use jobs::run_jobs;
 pub use report::Report;
+pub use sweep::RunSpec;
 
-const USAGE: &str = "\
-options:
-  --threads N    simulated cores per run (default 16, as in the paper)
-  --quick        scaled-down workloads for smoke runs
-  --seed N       base workload seed (default 2015)
-  --jobs N       harness worker threads; simulator runs execute in parallel
-                 but results and output order stay deterministic
-                 (default: available CPUs)
-  --json         also dump per-run throughput to results/BENCH_<exhibit>.json
-  --hist         diag: print per-mode lock-word/anchor/conflict histograms
-  --workload W   profile: workload to profile, by name (default list-hi)
-  --mode M       profile: execution mode — HTM, AddrOnly, Staggered+SW or
-                 Staggered (default HTM)
-  --trace-out F  profile: dump the raw observability event stream to F as
-                 JSONL (schema: htm-sim obs module docs / EXPERIMENTS.md)
-  --help         show this message";
+const COMMON_USAGE: &str = "\
+common options:
+  --threads N      simulated cores per run (default 16, as in the paper)
+  --quick          scaled-down workloads for smoke runs
+  --seed N         base workload seed (default 2015)
+  --jobs N         harness worker threads; simulator runs execute in parallel
+                   but results and output order stay deterministic
+                   (default: available CPUs)
+  --json           also dump per-run throughput to results/BENCH_<exhibit>.json
+  --scheduler S    host-side core driver: cooperative (default) or threaded;
+                   overrides the HTM_SIM_SCHEDULER environment variable
+  --help           show this message";
 
-const USAGE_LINE: &str = "[--threads N] [--quick] [--seed N] [--jobs N] [--json] [--hist] \
-     [--workload W] [--mode M] [--trace-out F]";
+const COMMON_USAGE_LINE: &str =
+    "[--threads N] [--quick] [--seed N] [--jobs N] [--json] [--scheduler S]";
 
-/// Harness options parsed from the command line.
+/// Parse a [`Mode`] by its display name, case-insensitively; `+` may be
+/// omitted ("staggeredsw" ≡ "Staggered+SW"). Thin wrapper over
+/// [`Mode::parse`].
+pub fn parse_mode(s: &str) -> Option<Mode> {
+    Mode::parse(s)
+}
+
+/// Cursor over `argv` shared by the common-flag parser and each binary's
+/// extra flags. Extra-flag closures pull values through [`Args::value`] /
+/// [`Args::parsed`] and report errors through [`Args::fail`], so every
+/// exhibit gets uniform usage/exit(2) behavior.
+pub struct Args {
+    argv: Vec<String>,
+    i: usize,
+    program: String,
+    usage_line: String,
+    usage_body: String,
+}
+
+impl Args {
+    fn new(extra_usage_line: &str, extra_usage: &str) -> Args {
+        let argv: Vec<String> = std::env::args().collect();
+        let program = argv
+            .first()
+            .map(|p| {
+                p.rsplit(['/', '\\'])
+                    .next()
+                    .unwrap_or("exhibit")
+                    .to_string()
+            })
+            .unwrap_or_else(|| "exhibit".to_string());
+        let usage_line = if extra_usage_line.is_empty() {
+            COMMON_USAGE_LINE.to_string()
+        } else {
+            format!("{COMMON_USAGE_LINE} {extra_usage_line}")
+        };
+        let usage_body = if extra_usage.is_empty() {
+            COMMON_USAGE.to_string()
+        } else {
+            format!("{COMMON_USAGE}\n{extra_usage}")
+        };
+        Args {
+            argv,
+            i: 1,
+            program,
+            usage_line,
+            usage_body,
+        }
+    }
+
+    /// The binary's name, as invoked.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Print `msg` plus the full usage text and exit with status 2.
+    pub fn fail(&self, msg: &str) -> ! {
+        eprintln!("{}: {msg}", self.program);
+        eprintln!("usage: {} {}", self.program, self.usage_line);
+        eprintln!("{}", self.usage_body);
+        std::process::exit(2);
+    }
+
+    /// Consume and return the value of flag `name`, failing if absent.
+    pub fn value(&mut self, name: &str) -> String {
+        self.i += 1;
+        match self.argv.get(self.i) {
+            Some(v) => v.clone(),
+            None => self.fail(&format!("{name} requires a value")),
+        }
+    }
+
+    /// Consume and parse the value of flag `name`, failing on a
+    /// missing or unparsable value.
+    pub fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> T {
+        let v = self.value(name);
+        v.parse()
+            .unwrap_or_else(|_| self.fail(&format!("invalid {name} value '{v}'")))
+    }
+
+    /// Peek the flag at the cursor; the parse loop advances the cursor
+    /// after the flag (and any value consumed through [`Args::value`]) is
+    /// processed.
+    fn next_flag(&self) -> Option<String> {
+        self.argv.get(self.i).cloned()
+    }
+}
+
+/// The flags shared by every exhibit binary. Per-binary option sets (e.g.
+/// the profiler's `--workload/--mode/--trace-out` or diag's `--hist`)
+/// embed a `CommonOpts` and add their own flags via
+/// [`CommonOpts::parse_with`], so `--help` of each binary lists only the
+/// flags it actually understands.
 #[derive(Debug, Clone)]
-pub struct Opts {
+pub struct CommonOpts {
     /// Simulated cores per run.
     pub threads: usize,
     /// Scaled-down workloads for smoke runs.
@@ -71,141 +166,90 @@ pub struct Opts {
     pub jobs: usize,
     /// Dump `results/BENCH_<exhibit>.json` at the end of the run.
     pub json: bool,
-    /// `diag`: print the per-mode lock-word/anchor/conflict histograms.
-    pub hist: bool,
-    /// `profile`: workload name to profile (default `list-hi`).
-    pub workload: Option<String>,
-    /// `profile`: execution mode (default [`Mode::Htm`]).
-    pub mode: Option<Mode>,
-    /// `profile`: JSONL destination for the raw event stream.
-    pub trace_out: Option<String>,
+    /// Host-side scheduler pin (`--scheduler`). `None` leaves the
+    /// `HTM_SIM_SCHEDULER` environment variable as the fallback.
+    pub scheduler: Option<Scheduler>,
 }
 
-/// Parse a [`Mode`] by its display name, case-insensitively; `+` may be
-/// omitted ("staggeredsw" ≡ "Staggered+SW").
-pub fn parse_mode(s: &str) -> Option<Mode> {
-    let norm = |x: &str| x.to_ascii_lowercase().replace('+', "");
-    Mode::ALL.into_iter().find(|m| norm(m.name()) == norm(s))
-}
-
-impl Opts {
-    fn defaults() -> Opts {
-        Opts {
+impl CommonOpts {
+    fn defaults() -> CommonOpts {
+        CommonOpts {
             threads: 16,
             quick: false,
             seed: 2015,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             json: false,
-            hist: false,
-            workload: None,
-            mode: None,
-            trace_out: None,
+            scheduler: None,
         }
     }
 
     #[cfg(test)]
-    pub(crate) fn default_for_tests() -> Opts {
-        Opts::defaults()
+    pub(crate) fn default_for_tests() -> CommonOpts {
+        CommonOpts::defaults()
     }
 
-    /// Parse harness options from `std::env::args`. Prints usage and exits
-    /// with status 2 on an unknown flag or a missing/invalid value.
-    pub fn from_args() -> Opts {
-        let args: Vec<String> = std::env::args().collect();
-        let program = args
-            .first()
-            .map(|p| {
-                p.rsplit(['/', '\\'])
-                    .next()
-                    .unwrap_or("exhibit")
-                    .to_string()
-            })
-            .unwrap_or_else(|| "exhibit".to_string());
-        let fail = |msg: &str| -> ! {
-            eprintln!("{program}: {msg}");
-            eprintln!("usage: {program} {USAGE_LINE}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        };
-        let mut o = Opts::defaults();
-        let mut i = 1;
-        while i < args.len() {
-            let flag = args[i].as_str();
-            let mut value = |name: &str| -> String {
-                i += 1;
-                match args.get(i) {
-                    Some(v) => v.clone(),
-                    None => fail(&format!("{name} requires a value")),
-                }
-            };
-            match flag {
-                "--threads" => {
-                    let v = value("--threads");
-                    o.threads = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --threads value '{v}'")));
-                }
-                "--seed" => {
-                    let v = value("--seed");
-                    o.seed = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --seed value '{v}'")));
-                }
-                "--jobs" => {
-                    let v = value("--jobs");
-                    o.jobs = v
-                        .parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid --jobs value '{v}'")));
-                }
+    /// Parse the common flags from `std::env::args`. Prints usage and
+    /// exits with status 2 on an unknown flag or a missing/invalid value.
+    pub fn from_args() -> CommonOpts {
+        Self::parse_with("", "", |_, _| false)
+    }
+
+    /// Parse the common flags plus a binary's own: `extra` is called for
+    /// every flag the common core does not recognize and returns whether
+    /// it consumed the flag (pulling any value through the [`Args`]).
+    /// `extra_usage_line` / `extra_usage` extend the usage text.
+    pub fn parse_with(
+        extra_usage_line: &str,
+        extra_usage: &str,
+        mut extra: impl FnMut(&mut Args, &str) -> bool,
+    ) -> CommonOpts {
+        let mut a = Args::new(extra_usage_line, extra_usage);
+        let mut o = CommonOpts::defaults();
+        while let Some(flag) = a.next_flag() {
+            match flag.as_str() {
+                "--threads" => o.threads = a.parsed("--threads"),
+                "--seed" => o.seed = a.parsed("--seed"),
+                "--jobs" => o.jobs = a.parsed("--jobs"),
                 "--quick" => o.quick = true,
                 "--json" => o.json = true,
-                "--hist" => o.hist = true,
-                "--workload" => o.workload = Some(value("--workload")),
-                "--mode" => {
-                    let v = value("--mode");
-                    o.mode = Some(
-                        parse_mode(&v)
-                            .unwrap_or_else(|| fail(&format!("invalid --mode value '{v}'"))),
-                    );
+                "--scheduler" => {
+                    let v = a.value("--scheduler");
+                    o.scheduler =
+                        Some(Scheduler::parse(&v).unwrap_or_else(|| {
+                            a.fail(&format!("invalid --scheduler value '{v}'"))
+                        }));
                 }
-                "--trace-out" => o.trace_out = Some(value("--trace-out")),
                 "--help" | "-h" => {
-                    println!("usage: {program} {USAGE_LINE}");
-                    println!("{USAGE}");
+                    println!("usage: {} {}", a.program, a.usage_line);
+                    println!("{}", a.usage_body);
                     std::process::exit(0);
                 }
-                other => fail(&format!("unknown option '{other}'")),
+                other => {
+                    if !extra(&mut a, other) {
+                        a.fail(&format!("unknown option '{other}'"));
+                    }
+                }
             }
-            i += 1;
+            a.i += 1;
         }
         if o.threads == 0 {
-            fail("--threads must be at least 1");
+            a.fail("--threads must be at least 1");
         }
         if o.jobs == 0 {
-            fail("--jobs must be at least 1");
+            a.fail("--jobs must be at least 1");
         }
         o
     }
 }
 
-/// The benchmark set, optionally scaled down for quick runs.
+/// The benchmark set, optionally scaled down for quick runs (delegates to
+/// the workload registry).
 pub fn workload_set(quick: bool) -> Vec<Box<dyn Workload>> {
-    if !quick {
-        return workloads::all_workloads();
+    if quick {
+        workloads::quick_workloads()
+    } else {
+        workloads::all_workloads()
     }
-    use workloads::*;
-    vec![
-        Box::new(genome::Genome::tiny()),
-        Box::new(intruder::Intruder::tiny()),
-        Box::new(kmeans::Kmeans::tiny()),
-        Box::new(labyrinth::Labyrinth::tiny()),
-        Box::new(ssca2::Ssca2::tiny()),
-        Box::new(vacation::Vacation::tiny()),
-        Box::new(list::ListBench::lo()),
-        Box::new(list::ListBench::hi()),
-        Box::new(tsp::Tsp::tiny()),
-        Box::new(memcached::Memcached::tiny()),
-    ]
 }
 
 /// Compile + flatten every workload, in parallel, each exactly once. The
@@ -261,10 +305,16 @@ pub fn measure(
     seq: &BenchResult,
     htm: Option<&BenchResult>,
 ) -> Measured {
-    let r = run(p, mode, threads, seed);
+    measured_from(run(p, mode, threads, seed), seq, htm)
+}
+
+/// Derive the paper's metrics from an already finished run, given the
+/// sequential reference and (optionally) the baseline HTM run at the same
+/// thread count.
+pub fn measured_from(r: BenchResult, seq: &BenchResult, htm: Option<&BenchResult>) -> Measured {
     Measured {
         name: r.name,
-        mode,
+        mode: r.mode,
         speedup_vs_seq: seq.cycles() as f64 / r.cycles() as f64,
         speedup_vs_htm: htm.map(|h| h.cycles() as f64 / r.cycles() as f64),
         aborts_per_commit: r.out.sim.aborts_per_commit(),

@@ -22,7 +22,7 @@
 //! simulated instruction — both scheduler-overhead observability, not
 //! paper metrics.
 
-use crate::{Measured, Opts};
+use crate::{CommonOpts, Measured, RunSpec};
 use htm_sim::MachineConfig;
 use stagger_core::{Mode, RuntimeConfig};
 use std::path::PathBuf;
@@ -66,13 +66,13 @@ impl RunRecord {
 /// (interior mutability); all run helpers record automatically.
 pub struct Report {
     exhibit: String,
-    opts: Opts,
+    opts: CommonOpts,
     started: Instant,
     records: Mutex<Vec<RunRecord>>,
 }
 
 impl Report {
-    pub fn new(exhibit: &str, opts: &Opts) -> Report {
+    pub fn new(exhibit: &str, opts: &CommonOpts) -> Report {
         Report {
             exhibit: exhibit.to_string(),
             opts: opts.clone(),
@@ -94,21 +94,38 @@ impl Report {
         });
     }
 
+    /// The [`RunSpec`] this report's exhibit would use for `p` at
+    /// `threads` in `mode` — every run helper below routes through it,
+    /// so one exhibit's configuration namings are uniform and carry the
+    /// common flags (`--quick`, `--scheduler`, ...).
+    pub fn spec(&self, p: &PreparedWorkload, mode: Mode, threads: usize, seed: u64) -> RunSpec {
+        let mut spec = RunSpec::from_opts(&self.opts, p.name(), mode);
+        spec.threads = threads;
+        spec.seed = seed;
+        spec
+    }
+
     /// Run `p` at `threads` in `mode` and record it.
     pub fn run(&self, p: &PreparedWorkload, mode: Mode, threads: usize, seed: u64) -> BenchResult {
-        let r = p.run(mode, threads, seed);
+        let r = self.spec(p, mode, threads, seed).run(p);
         self.record(&r);
         r
     }
 
-    /// Run with explicit machine/runtime configuration (ablations).
+    /// Run with explicit machine/runtime configuration (ablations). An
+    /// unpinned machine config picks up the exhibit's `--scheduler` flag.
     pub fn run_cfg(
         &self,
         p: &PreparedWorkload,
         seed: u64,
-        machine_cfg: MachineConfig,
+        mut machine_cfg: MachineConfig,
         rt_cfg: RuntimeConfig,
     ) -> BenchResult {
+        if let Some(s) = self.opts.scheduler {
+            if !machine_cfg.scheduler_pinned {
+                machine_cfg = machine_cfg.scheduler(s);
+            }
+        }
         let r = p.run_cfg(seed, machine_cfg, rt_cfg);
         self.record(&r);
         r
@@ -129,7 +146,8 @@ impl Report {
         seq: &BenchResult,
         htm: Option<&BenchResult>,
     ) -> Measured {
-        let m = crate::measure(p, mode, threads, seed, seq, htm);
+        let r = self.spec(p, mode, threads, seed).run(p);
+        let m = crate::measured_from(r, seq, htm);
         self.record(&m.result);
         m
     }
@@ -256,7 +274,7 @@ mod tests {
 
     #[test]
     fn json_escapes_and_sorts() {
-        let opts = Opts::default_for_tests();
+        let opts = CommonOpts::default_for_tests();
         let rep = Report::new("unit\"test", &opts);
         rep.records.lock().unwrap().push(RunRecord {
             workload: "zeta",

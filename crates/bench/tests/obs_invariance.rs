@@ -16,7 +16,7 @@ fn run_with_recording(
     mode: Mode,
     record_events: bool,
 ) -> (htm_sim::SimStats, Vec<Vec<htm_sim::TraceEvent>>, Vec<u64>) {
-    let mut mcfg = MachineConfig::with_cores(4);
+    let mut mcfg = MachineConfig::cores(4);
     mcfg.record_trace = true;
     mcfg.record_events = record_events;
     let machine = Machine::new(mcfg);
@@ -74,7 +74,7 @@ fn list_conflicts_attribute_to_the_traversal() {
     let set = workload_set(true);
     let w = set.iter().find(|w| w.name() == "list-hi").unwrap();
     let p = PreparedWorkload::new(w.as_ref());
-    let mut mcfg = MachineConfig::with_cores(8);
+    let mut mcfg = MachineConfig::cores(8);
     mcfg.record_events = true;
     let machine = Machine::new(mcfg);
     p.run_on(&machine, &RuntimeConfig::with_mode(Mode::Htm), 2015);

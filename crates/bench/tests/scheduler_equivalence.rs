@@ -28,7 +28,7 @@ fn run_under(
     threads: usize,
     seed: u64,
 ) -> RunArtifacts {
-    let mut mcfg = MachineConfig::with_cores(threads);
+    let mut mcfg = MachineConfig::cores(threads);
     mcfg.scheduler = scheduler;
     mcfg.record_trace = true;
     mcfg.record_events = true;

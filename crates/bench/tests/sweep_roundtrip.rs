@@ -1,0 +1,99 @@
+//! The sweep engine's two contracts, end to end against the real
+//! simulator:
+//!
+//! 1. **Spec round-trip** — a serialized [`RunSpec`] parses back to a
+//!    configuration that simulates bit-identically (same cycles,
+//!    instructions, commits).
+//! 2. **Byte-identical resume** — a sweep interrupted mid-grid
+//!    (`max_cells`) and then resumed produces the exact same JSON/CSV
+//!    tables as an uninterrupted sweep, and the resumed invocation does
+//!    zero recomputation for cached cells.
+
+use stagger_bench::sweep::{run_sweep, sweep_csv, sweep_json, Axis, SweepSpec};
+use stagger_bench::RunSpec;
+use stagger_core::Mode;
+use std::path::PathBuf;
+use workloads::PreparedWorkload;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stagger-sweep-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn run_spec_round_trips_through_text_to_identical_cycles() {
+    let mut spec = RunSpec::new("ssca2", Mode::Staggered, 4, 11);
+    spec.quick = true;
+    spec.machine = spec.machine.pc_tag_bits(8).small();
+    spec.runtime.lock_timeout = 7_000;
+    spec.runtime.min_conflict_rate = 0.25;
+
+    let text = spec.canon();
+    let parsed = RunSpec::parse(&text).expect("canonical text parses");
+    assert_eq!(parsed.canon(), text, "canon is a fixed point");
+    assert_eq!(parsed.run_key(), spec.run_key());
+
+    let w = workloads::workload_by_name(&spec.workload, spec.quick).unwrap();
+    let p = PreparedWorkload::new(w.as_ref());
+    let a = spec.run(&p);
+    let b = parsed.run(&p);
+    assert_eq!(a.cycles(), b.cycles(), "parsed spec simulates identically");
+    assert_eq!(a.sim_insts(), b.sim_insts());
+    assert_eq!(a.out.exec.committed_txns, b.out.exec.committed_txns);
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_byte_identical_tables() {
+    let mut base = RunSpec::new("ssca2", Mode::Htm, 4, 11);
+    base.quick = true;
+    let spec = SweepSpec {
+        name: "resume-test".to_string(),
+        base,
+        axes: vec![
+            Axis::new("mode", &["HTM", "Staggered"]),
+            Axis::new("machine.pc_tag_bits", &["4", "12"]),
+        ],
+    };
+    let grid = spec.cells().unwrap();
+    assert_eq!(grid.len(), 4);
+
+    // Uninterrupted reference run.
+    let dir_a = scratch_dir("uninterrupted");
+    let full = run_sweep(&spec, &dir_a, 2, None, None).unwrap();
+    assert!(full.is_complete());
+    assert_eq!((full.cached, full.computed), (0, 4));
+    let cells_a = full.complete_cells();
+    let json_a = sweep_json(&spec, &grid, &cells_a);
+    let csv_a = sweep_csv(&spec, &grid, &cells_a);
+
+    // Interrupted run: one cell per invocation, four invocations.
+    let dir_b = scratch_dir("interrupted");
+    for step in 0..4 {
+        let partial = run_sweep(&spec, &dir_b, 2, Some(1), None).unwrap();
+        assert_eq!(partial.cached, step);
+        assert_eq!(partial.computed, 1);
+        assert_eq!(partial.remaining, 3 - step);
+        assert_eq!(partial.is_complete(), step == 3);
+    }
+    // The resume pass after completion recomputes nothing.
+    let resumed = run_sweep(&spec, &dir_b, 2, None, None).unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!((resumed.cached, resumed.computed), (4, 0), "100% cache hit");
+
+    let cells_b = resumed.complete_cells();
+    assert_eq!(
+        sweep_json(&spec, &grid, &cells_b),
+        json_a,
+        "resumed JSON table is byte-identical"
+    );
+    assert_eq!(
+        sweep_csv(&spec, &grid, &cells_b),
+        csv_a,
+        "resumed CSV table is byte-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

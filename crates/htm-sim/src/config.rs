@@ -17,6 +17,25 @@ pub enum HtmProtocol {
     Lazy,
 }
 
+impl HtmProtocol {
+    /// Canonical name, stable across releases (used by experiment specs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HtmProtocol::Eager => "eager",
+            HtmProtocol::Lazy => "lazy",
+        }
+    }
+
+    /// Parse a protocol by its canonical name, case-insensitively.
+    pub fn parse(s: &str) -> Option<HtmProtocol> {
+        match s.to_ascii_lowercase().as_str() {
+            "eager" => Some(HtmProtocol::Eager),
+            "lazy" => Some(HtmProtocol::Lazy),
+            _ => None,
+        }
+    }
+}
+
 /// Host-side driver for the simulated cores. Both schedulers realize the
 /// same simulated semantics — ops execute in increasing (logical clock,
 /// core id) order — so results are bit-identical; they differ only in host
@@ -30,6 +49,27 @@ pub enum Scheduler {
     /// One OS thread per simulated core, gated by a mutex + condvars (the
     /// original driver; kept for cross-scheduler equivalence testing).
     Threaded,
+}
+
+impl Scheduler {
+    /// Canonical name, stable across releases (used by experiment specs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduler::Cooperative => "cooperative",
+            Scheduler::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a scheduler by name, case-insensitively. Accepts the same
+    /// spellings as the `HTM_SIM_SCHEDULER` environment variable:
+    /// `cooperative`/`coop`/`single` and `threaded`/`threads`.
+    pub fn parse(s: &str) -> Option<Scheduler> {
+        match s.to_ascii_lowercase().as_str() {
+            "cooperative" | "coop" | "single" => Some(Scheduler::Cooperative),
+            "threaded" | "threads" => Some(Scheduler::Threaded),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of the simulated machine.
@@ -100,10 +140,16 @@ pub struct MachineConfig {
     /// dropped). 0 disables buffering entirely even with `record_events`.
     pub event_ring_capacity: usize,
     /// Host-side core driver. Purely a host-performance knob: simulated
-    /// cycles, stats and traces are identical across schedulers. The
-    /// `HTM_SIM_SCHEDULER` environment variable (`cooperative`/`threads`)
-    /// overrides this at [`crate::Machine::new`].
+    /// cycles, stats and traces are identical across schedulers. Unless
+    /// [`Self::scheduler_pinned`] is set, the `HTM_SIM_SCHEDULER`
+    /// environment variable (`cooperative`/`threads`) overrides this at
+    /// [`crate::Machine::new`].
     pub scheduler: Scheduler,
+    /// When set, the scheduler was chosen explicitly (a `--scheduler`
+    /// flag or an experiment spec) and the `HTM_SIM_SCHEDULER` environment
+    /// variable is only a fallback — it no longer overrides. Set by the
+    /// `scheduler(..)` builder method and by [`Self::set_kv`].
+    pub scheduler_pinned: bool,
 }
 
 impl Default for MachineConfig {
@@ -132,40 +178,153 @@ impl Default for MachineConfig {
             record_events: false,
             event_ring_capacity: 1 << 20,
             scheduler: Scheduler::Cooperative,
+            scheduler_pinned: false,
         }
     }
 }
 
 impl MachineConfig {
-    /// A config with `n` cores and defaults otherwise.
-    pub fn with_cores(n: usize) -> Self {
+    /// Entry point of the fluent builder: a config with `n` cores and
+    /// defaults otherwise. Chain the builder methods to deviate from
+    /// Table 2, e.g. `MachineConfig::cores(4).small().lazy()`.
+    pub fn cores(n: usize) -> Self {
         MachineConfig {
             n_cores: n,
             ..Default::default()
         }
     }
 
-    /// A small-memory config for unit tests (fast to allocate/zero).
-    pub fn small(n_cores: usize) -> Self {
-        MachineConfig {
-            n_cores,
-            mem_words: 1 << 18, // 2 MiB
-            ..Default::default()
-        }
+    /// Deprecated alias of [`Self::cores`], kept one release for external
+    /// callers.
+    #[deprecated(since = "0.1.0", note = "use MachineConfig::cores(n)")]
+    pub fn with_cores(n: usize) -> Self {
+        Self::cores(n)
     }
 
-    /// Like [`Self::small`], but with lazy (commit-time) conflict
-    /// resolution.
-    pub fn small_lazy(n_cores: usize) -> Self {
-        MachineConfig {
-            protocol: HtmProtocol::Lazy,
-            ..Self::small(n_cores)
-        }
+    /// Shrink simulated memory to 2 MiB — fast to allocate/zero, the
+    /// right size for unit tests.
+    pub fn small(mut self) -> Self {
+        self.mem_words = 1 << 18; // 2 MiB
+        self
+    }
+
+    /// Select lazy (commit-time) conflict resolution.
+    pub fn lazy(mut self) -> Self {
+        self.protocol = HtmProtocol::Lazy;
+        self
+    }
+
+    /// Select the conflict-resolution protocol.
+    pub fn protocol(mut self, p: HtmProtocol) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Set the conflicting-PC tag width.
+    pub fn pc_tag_bits(mut self, bits: u32) -> Self {
+        self.pc_tag_bits = bits;
+        self
+    }
+
+    /// Enable the begin/commit/abort trace for the timeline renderer.
+    pub fn record_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Enable the cycle-stamped observability event stream.
+    pub fn record_events(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+
+    /// Pin the host-side scheduler explicitly: the `HTM_SIM_SCHEDULER`
+    /// environment variable no longer overrides it.
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.scheduler = s;
+        self.scheduler_pinned = true;
+        self
     }
 
     /// Mask for the PC tag.
     pub fn pc_tag_mask(&self) -> u64 {
         (1u64 << self.pc_tag_bits) - 1
+    }
+
+    /// Serialize every knob as canonical `(key, value)` pairs, in a fixed
+    /// order. The inverse of [`Self::set_kv`]; experiment specs embed
+    /// these under a `machine.` prefix.
+    pub fn to_kv(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("n_cores", self.n_cores.to_string()),
+            ("mem_words", self.mem_words.to_string()),
+            ("l1_latency", self.l1_latency.to_string()),
+            ("l2_latency", self.l2_latency.to_string()),
+            ("l3_latency", self.l3_latency.to_string()),
+            ("mem_latency", self.mem_latency.to_string()),
+            ("l1_sets", self.l1_sets.to_string()),
+            ("l1_ways", self.l1_ways.to_string()),
+            ("l2_sets", self.l2_sets.to_string()),
+            ("l2_ways", self.l2_ways.to_string()),
+            ("l3_sets", self.l3_sets.to_string()),
+            ("l3_ways", self.l3_ways.to_string()),
+            ("tx_begin_cost", self.tx_begin_cost.to_string()),
+            ("tx_commit_cost", self.tx_commit_cost.to_string()),
+            ("tx_abort_cost", self.tx_abort_cost.to_string()),
+            ("alloc_cost_per_word", self.alloc_cost_per_word.to_string()),
+            ("arena_chunk_words", self.arena_chunk_words.to_string()),
+            ("pc_tag_bits", self.pc_tag_bits.to_string()),
+            ("protocol", self.protocol.name().to_string()),
+            ("record_trace", self.record_trace.to_string()),
+            ("record_events", self.record_events.to_string()),
+            ("event_ring_capacity", self.event_ring_capacity.to_string()),
+            ("scheduler", self.scheduler.name().to_string()),
+        ]
+    }
+
+    /// Set one knob by its canonical key. Setting `scheduler` pins it
+    /// (explicit configuration beats the environment variable). Returns a
+    /// descriptive error for an unknown key or an unparsable value.
+    pub fn set_kv(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("machine.{key}: invalid value '{value}'"))
+        }
+        match key {
+            "n_cores" => self.n_cores = num(key, value)?,
+            "mem_words" => self.mem_words = num(key, value)?,
+            "l1_latency" => self.l1_latency = num(key, value)?,
+            "l2_latency" => self.l2_latency = num(key, value)?,
+            "l3_latency" => self.l3_latency = num(key, value)?,
+            "mem_latency" => self.mem_latency = num(key, value)?,
+            "l1_sets" => self.l1_sets = num(key, value)?,
+            "l1_ways" => self.l1_ways = num(key, value)?,
+            "l2_sets" => self.l2_sets = num(key, value)?,
+            "l2_ways" => self.l2_ways = num(key, value)?,
+            "l3_sets" => self.l3_sets = num(key, value)?,
+            "l3_ways" => self.l3_ways = num(key, value)?,
+            "tx_begin_cost" => self.tx_begin_cost = num(key, value)?,
+            "tx_commit_cost" => self.tx_commit_cost = num(key, value)?,
+            "tx_abort_cost" => self.tx_abort_cost = num(key, value)?,
+            "alloc_cost_per_word" => self.alloc_cost_per_word = num(key, value)?,
+            "arena_chunk_words" => self.arena_chunk_words = num(key, value)?,
+            "pc_tag_bits" => self.pc_tag_bits = num(key, value)?,
+            "protocol" => {
+                self.protocol = HtmProtocol::parse(value)
+                    .ok_or_else(|| format!("machine.protocol: invalid value '{value}'"))?;
+            }
+            "record_trace" => self.record_trace = num(key, value)?,
+            "record_events" => self.record_events = num(key, value)?,
+            "event_ring_capacity" => self.event_ring_capacity = num(key, value)?,
+            "scheduler" => {
+                self.scheduler = Scheduler::parse(value)
+                    .ok_or_else(|| format!("machine.scheduler: invalid value '{value}'"))?;
+                self.scheduler_pinned = true;
+            }
+            other => return Err(format!("machine.{other}: unknown key")),
+        }
+        Ok(())
     }
 }
 
@@ -189,9 +348,70 @@ mod tests {
 
     #[test]
     fn small_config_shrinks_memory_only() {
-        let c = MachineConfig::small(4);
+        let c = MachineConfig::cores(4).small();
         assert_eq!(c.n_cores, 4);
         assert!(c.mem_words < MachineConfig::default().mem_words);
         assert_eq!(c.l1_latency, 2);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let c = MachineConfig::cores(8)
+            .small()
+            .lazy()
+            .pc_tag_bits(6)
+            .record_events()
+            .scheduler(Scheduler::Threaded);
+        assert_eq!(c.n_cores, 8);
+        assert_eq!(c.protocol, HtmProtocol::Lazy);
+        assert_eq!(c.pc_tag_bits, 6);
+        assert!(c.record_events && !c.record_trace);
+        assert_eq!(c.scheduler, Scheduler::Threaded);
+        assert!(c.scheduler_pinned);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_cores_shim_matches_cores() {
+        let a = MachineConfig::cores(5);
+        let b = MachineConfig::cores(5);
+        assert_eq!(a.to_kv(), b.to_kv());
+    }
+
+    #[test]
+    fn kv_round_trips_every_key() {
+        let c = MachineConfig::cores(3)
+            .small()
+            .lazy()
+            .pc_tag_bits(9)
+            .scheduler(Scheduler::Threaded);
+        let mut d = MachineConfig::default();
+        for (k, v) in c.to_kv() {
+            d.set_kv(k, &v).unwrap();
+        }
+        assert_eq!(c.to_kv(), d.to_kv());
+        assert!(d.scheduler_pinned, "set_kv(scheduler) pins");
+    }
+
+    #[test]
+    fn kv_rejects_unknown_and_bad_values() {
+        let mut c = MachineConfig::default();
+        assert!(c.set_kv("no_such_knob", "1").is_err());
+        assert!(c.set_kv("pc_tag_bits", "wide").is_err());
+        assert!(c.set_kv("protocol", "psychic").is_err());
+        assert!(c.set_kv("scheduler", "gpu").is_err());
+    }
+
+    #[test]
+    fn protocol_and_scheduler_names_parse_back() {
+        for p in [HtmProtocol::Eager, HtmProtocol::Lazy] {
+            assert_eq!(HtmProtocol::parse(p.name()), Some(p));
+        }
+        for s in [Scheduler::Cooperative, Scheduler::Threaded] {
+            assert_eq!(Scheduler::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scheduler::parse("coop"), Some(Scheduler::Cooperative));
+        assert_eq!(Scheduler::parse("threads"), Some(Scheduler::Threaded));
+        assert_eq!(HtmProtocol::parse("none"), None);
     }
 }

@@ -75,10 +75,15 @@ pub struct Machine {
 
 impl Machine {
     pub fn new(mut cfg: MachineConfig) -> Machine {
-        match std::env::var("HTM_SIM_SCHEDULER").as_deref() {
-            Ok("threads" | "threaded") => cfg.scheduler = Scheduler::Threaded,
-            Ok("coop" | "cooperative" | "single") => cfg.scheduler = Scheduler::Cooperative,
-            _ => {}
+        // The environment variable is a fallback: an explicitly pinned
+        // scheduler (a `--scheduler` flag or an experiment spec) wins.
+        if !cfg.scheduler_pinned {
+            if let Some(s) = std::env::var("HTM_SIM_SCHEDULER")
+                .ok()
+                .and_then(|v| Scheduler::parse(&v))
+            {
+                cfg.scheduler = s;
+            }
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(SimState::new(cfg.clone())),
@@ -486,10 +491,10 @@ mod tests {
     /// Every test runs under both drivers via this helper, so the suite
     /// exercises scheduler equivalence at the unit level too.
     fn machines(n: usize) -> [Machine; 2] {
-        let mut threaded = MachineConfig::small(n);
+        let mut threaded = MachineConfig::cores(n).small();
         threaded.scheduler = Scheduler::Threaded;
         [
-            Machine::new(MachineConfig::small(n)),
+            Machine::new(MachineConfig::cores(n).small()),
             Machine::new(threaded),
         ]
     }
@@ -553,7 +558,7 @@ mod tests {
     #[test]
     fn determinism_across_runs_and_schedulers() {
         let run_once = |scheduler: Scheduler| {
-            let mut cfg = MachineConfig::small(4);
+            let mut cfg = MachineConfig::cores(4).small();
             cfg.scheduler = scheduler;
             let m = Machine::new(cfg);
             let a = m.host_alloc(8, true);
@@ -767,14 +772,21 @@ mod tests {
     }
 
     #[test]
-    fn env_var_overrides_scheduler() {
+    fn env_var_is_a_fallback_for_unpinned_configs() {
         // Env mutation is process-global; a Machine::new racing this window
         // merely runs threaded, which is semantically equivalent.
         std::env::set_var("HTM_SIM_SCHEDULER", "threads");
-        let m = Machine::new(MachineConfig::small(1));
+        let m = Machine::new(MachineConfig::cores(1).small());
+        // An explicitly pinned scheduler beats the environment variable.
+        let pinned = Machine::new(
+            MachineConfig::cores(1)
+                .small()
+                .scheduler(Scheduler::Cooperative),
+        );
         std::env::remove_var("HTM_SIM_SCHEDULER");
         assert_eq!(m.config().scheduler, Scheduler::Threaded);
-        let m = Machine::new(MachineConfig::small(1));
+        assert_eq!(pinned.config().scheduler, Scheduler::Cooperative);
+        let m = Machine::new(MachineConfig::cores(1).small());
         assert_eq!(m.config().scheduler, Scheduler::Cooperative);
     }
 }

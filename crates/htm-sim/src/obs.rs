@@ -456,7 +456,7 @@ mod tests {
     /// conflict matrix, with the aborter core identified.
     #[test]
     fn conflict_matrix_attributes_two_core_conflict() {
-        let mut cfg = MachineConfig::small(2);
+        let mut cfg = MachineConfig::cores(2).small();
         cfg.record_events = true;
         let m = Machine::new(cfg);
         let a = m.host_alloc(8, true);
@@ -500,7 +500,7 @@ mod tests {
 
     #[test]
     fn recording_disabled_by_default_and_consuming() {
-        let m = Machine::new(MachineConfig::small(1));
+        let m = Machine::new(MachineConfig::cores(1).small());
         let a = m.host_alloc(8, true);
         m.run(vec![body(move |mut c| async move {
             c.tx_begin(0).await;
@@ -509,7 +509,7 @@ mod tests {
         })]);
         assert!(m.take_events()[0].is_empty());
 
-        let mut cfg = MachineConfig::small(1);
+        let mut cfg = MachineConfig::cores(1).small();
         cfg.record_events = true;
         let m = Machine::new(cfg);
         let a = m.host_alloc(8, true);

@@ -825,7 +825,7 @@ mod tests {
     use super::*;
 
     fn state(n: usize) -> SimState {
-        SimState::new(MachineConfig::small(n))
+        SimState::new(MachineConfig::cores(n).small())
     }
 
     #[test]
@@ -1105,7 +1105,7 @@ mod tests {
     // ----- lazy protocol ---------------------------------------------------
 
     fn lazy_state(n: usize) -> SimState {
-        SimState::new(MachineConfig::small_lazy(n))
+        SimState::new(MachineConfig::cores(n).small().lazy())
     }
 
     #[test]

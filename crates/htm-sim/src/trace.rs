@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn machine_records_when_enabled() {
         use crate::{body, Machine, MachineConfig};
-        let mut cfg = MachineConfig::small(1);
+        let mut cfg = MachineConfig::cores(1).small();
         cfg.record_trace = true;
         let m = Machine::new(cfg);
         let a = m.host_alloc(8, true);
@@ -286,7 +286,7 @@ mod tests {
     #[test]
     fn machine_skips_recording_by_default() {
         use crate::{body, Machine, MachineConfig};
-        let m = Machine::new(MachineConfig::small(1));
+        let m = Machine::new(MachineConfig::cores(1).small());
         let a = m.host_alloc(8, true);
         m.run(vec![body(move |mut c| async move {
             c.tx_begin(0).await;

@@ -35,7 +35,7 @@ fn single_core_matches_reference_model() {
         let n_ops = rng.gen_range(1, 40) as usize;
         let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let _heap = machine.host_alloc(64, true); // cover the address range
         let mut model: HashMap<u64, u64> = HashMap::new();
 
@@ -86,7 +86,7 @@ fn disjoint_lines_always_commit() {
     for _case in 0..8 {
         let n_threads = rng.gen_range(2, 5) as usize;
         let incs = rng.gen_range(1, 20);
-        let machine = Machine::new(MachineConfig::small(n_threads));
+        let machine = Machine::new(MachineConfig::cores(n_threads).small());
         let base = machine.host_alloc(n_threads as u64 * 8, true);
         machine.run_uniform(move |mut c| async move {
             let a = base + c.tid() as u64 * 64;
@@ -117,9 +117,9 @@ fn contended_counter_is_exact() {
         let lazy = rng.gen_bool();
         let pad = rng.below(60);
         let cfg = if lazy {
-            MachineConfig::small_lazy(n_threads)
+            MachineConfig::cores(n_threads).small().lazy()
         } else {
-            MachineConfig::small(n_threads)
+            MachineConfig::cores(n_threads).small()
         };
         let machine = Machine::new(cfg);
         let a = machine.host_alloc(8, true);

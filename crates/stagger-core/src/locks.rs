@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn same_line_same_lock_distinct_lines_spread() {
-        let m = Machine::new(MachineConfig::small(1));
+        let m = Machine::new(MachineConfig::cores(1).small());
         let t = LockTable::new(&m, 256);
         assert_eq!(t.lock_addr_for(1024), t.lock_addr_for(1024 + 56));
         // Lock addresses are line-aligned and within the table.
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn acquire_release_roundtrip() {
-        let m = Machine::new(MachineConfig::small(1));
+        let m = Machine::new(MachineConfig::cores(1).small());
         let t = LockTable::new(&m, 16);
         m.run(vec![body(move |mut c| async move {
             let w = t
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn acquire_times_out_when_held_by_other() {
-        let m = Machine::new(MachineConfig::small(2));
+        let m = Machine::new(MachineConfig::cores(2).small());
         let t = LockTable::new(&m, 16);
         let flag = m.host_alloc(8, true);
         m.run(vec![
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn global_lock_subscription_dooms_racing_txn() {
-        let m = Machine::new(MachineConfig::small(2));
+        let m = Machine::new(MachineConfig::cores(2).small());
         let gl = GlobalLock::new(&m);
         let data = m.host_alloc(8, true);
         let ready = m.host_alloc(8, true);
@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn mutual_exclusion_under_contention() {
-        let m = Machine::new(MachineConfig::small(4));
+        let m = Machine::new(MachineConfig::cores(4).small());
         let t = LockTable::new(&m, 16);
         let counter = m.host_alloc(8, true);
         m.run_uniform(move |mut c| async move {

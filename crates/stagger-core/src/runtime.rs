@@ -41,6 +41,13 @@ impl Mode {
             Mode::Staggered => "Staggered",
         }
     }
+
+    /// Parse a mode by its display name, case-insensitively; `+` may be
+    /// omitted (`staggeredsw` ≡ `Staggered+SW`).
+    pub fn parse(s: &str) -> Option<Mode> {
+        let norm = |x: &str| x.to_ascii_lowercase().replace('+', "");
+        Mode::ALL.into_iter().find(|m| norm(m.name()) == norm(s))
+    }
 }
 
 /// Sentinel anchor id for the AddrOnly block-start ALP (not a compiled
@@ -86,6 +93,55 @@ pub struct RuntimeConfig {
 }
 
 impl RuntimeConfig {
+    /// Serialize every knob except `mode` (experiment specs carry the mode
+    /// as a top-level field) as canonical `(key, value)` pairs, in a fixed
+    /// order. The inverse of [`Self::set_kv`]; specs embed these under a
+    /// `runtime.` prefix.
+    pub fn to_kv(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("pc_thr", self.policy.pc_thr.to_string()),
+            ("addr_thr", self.policy.addr_thr.to_string()),
+            ("prom_thr", self.policy.prom_thr.to_string()),
+            ("history_len", self.history_len.to_string()),
+            ("max_retries", self.max_retries.to_string()),
+            ("n_locks", self.n_locks.to_string()),
+            ("lock_timeout", self.lock_timeout.to_string()),
+            ("min_conflict_rate", format!("{}", self.min_conflict_rate)),
+            ("lock_spin", self.lock_spin.to_string()),
+            ("backoff_base", self.backoff_base.to_string()),
+            ("alp_inactive_cost", self.alp_inactive_cost.to_string()),
+            ("sw_alp_overhead", self.sw_alp_overhead.to_string()),
+            ("max_locks_per_txn", self.max_locks_per_txn.to_string()),
+        ]
+    }
+
+    /// Set one knob by its canonical key. Returns a descriptive error for
+    /// an unknown key or an unparsable value.
+    pub fn set_kv(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("runtime.{key}: invalid value '{value}'"))
+        }
+        match key {
+            "pc_thr" => self.policy.pc_thr = num(key, value)?,
+            "addr_thr" => self.policy.addr_thr = num(key, value)?,
+            "prom_thr" => self.policy.prom_thr = num(key, value)?,
+            "history_len" => self.history_len = num(key, value)?,
+            "max_retries" => self.max_retries = num(key, value)?,
+            "n_locks" => self.n_locks = num(key, value)?,
+            "lock_timeout" => self.lock_timeout = num(key, value)?,
+            "min_conflict_rate" => self.min_conflict_rate = num(key, value)?,
+            "lock_spin" => self.lock_spin = num(key, value)?,
+            "backoff_base" => self.backoff_base = num(key, value)?,
+            "alp_inactive_cost" => self.alp_inactive_cost = num(key, value)?,
+            "sw_alp_overhead" => self.sw_alp_overhead = num(key, value)?,
+            "max_locks_per_txn" => self.max_locks_per_txn = num(key, value)?,
+            other => return Err(format!("runtime.{other}: unknown key")),
+        }
+        Ok(())
+    }
+
     pub fn with_mode(mode: Mode) -> RuntimeConfig {
         RuntimeConfig {
             mode,
@@ -590,7 +646,7 @@ mod tests {
     #[test]
     fn htm_mode_alpoint_is_free() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Htm);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -604,7 +660,7 @@ mod tests {
     #[test]
     fn inactive_alp_costs_test_and_branch() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -620,7 +676,7 @@ mod tests {
     #[test]
     fn active_alp_acquires_and_clears() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -642,7 +698,7 @@ mod tests {
     #[test]
     fn precise_mode_respects_address_match() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -666,7 +722,7 @@ mod tests {
     #[test]
     fn sw_mode_maintains_map_and_attributes() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::StaggeredSw);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -700,7 +756,7 @@ mod tests {
         let anchor_entry = t.entries.iter().find(|e| e.is_anchor).unwrap();
         let tag = tm_ir::CodeLayout::truncate_pc(anchor_entry.pc);
         let expected = anchor_entry.anchor_id;
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |core| async move {
@@ -719,7 +775,7 @@ mod tests {
     #[test]
     fn addr_only_learns_block_start_lock() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::AddrOnly);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -750,7 +806,7 @@ mod tests {
     #[test]
     fn commit_on_first_try_with_lock_appends_empty() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -772,7 +828,7 @@ mod tests {
     #[test]
     fn multi_lock_extension_acquires_up_to_budget() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let mut cfg = RuntimeConfig::with_mode(Mode::Staggered);
         cfg.max_locks_per_txn = 2;
         let shared = SharedRt::new(&machine, &cfg);
@@ -803,7 +859,7 @@ mod tests {
         // A lock held by thread 0 must not block thread 1's *second*
         // acquisition — it just proceeds without it (deadlock freedom).
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(2));
+        let machine = Machine::new(MachineConfig::cores(2).small());
         let mut cfg = RuntimeConfig::with_mode(Mode::Staggered);
         cfg.max_locks_per_txn = 2;
         let shared = SharedRt::new(&machine, &cfg);
@@ -844,7 +900,7 @@ mod tests {
     #[test]
     fn backoff_is_deterministic_and_grows() {
         let c = compiled_simple();
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = RuntimeConfig::with_mode(Mode::Staggered);
         let shared = SharedRt::new(&machine, &cfg);
         machine.run(vec![body(move |mut core| async move {
@@ -861,5 +917,36 @@ mod tests {
         })]);
         let agg = machine.stats().aggregate();
         assert!(agg.backoff_cycles > 0);
+    }
+
+    #[test]
+    fn mode_names_parse_back() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::parse(m.name()), Some(m));
+            assert_eq!(Mode::parse(&m.name().to_lowercase()), Some(m));
+        }
+        assert_eq!(Mode::parse("staggeredsw"), Some(Mode::StaggeredSw));
+        assert_eq!(Mode::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn runtime_kv_round_trips_every_key() {
+        let mut c = RuntimeConfig::with_mode(Mode::Staggered);
+        c.lock_timeout = 777;
+        c.backoff_base = 3;
+        c.min_conflict_rate = 0.25;
+        c.policy.prom_thr = 9;
+        let mut d = RuntimeConfig::with_mode(Mode::Staggered);
+        for (k, v) in c.to_kv() {
+            d.set_kv(k, &v).unwrap();
+        }
+        assert_eq!(c.to_kv(), d.to_kv());
+    }
+
+    #[test]
+    fn runtime_kv_rejects_unknown_and_bad_values() {
+        let mut c = RuntimeConfig::default();
+        assert!(c.set_kv("mode", "HTM").is_err(), "mode is a top-level key");
+        assert!(c.set_kv("lock_timeout", "soon").is_err());
     }
 }

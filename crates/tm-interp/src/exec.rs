@@ -449,7 +449,7 @@ mod tests {
         let mut m = Module::new();
         build(&mut m);
         let compiled = compile(&m);
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let out = run_workload(
             &machine,
             &compiled,
@@ -474,7 +474,7 @@ mod tests {
         b.ret(Some(p));
         m.add_function(b.finish());
         let compiled = compile(&m);
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let arr = machine.host_alloc(16, true);
         let out = run_workload(
             &machine,
@@ -609,7 +609,7 @@ mod tests {
         let mut m = Module::new();
         build(&mut m);
         let compiled = compile(&m);
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let a = machine.host_alloc(8, true);
         let out = run_workload(
             &machine,

@@ -160,7 +160,7 @@ mod tests {
     fn run_counter(mode: Mode, n_threads: usize, per_thread: u64) -> (u64, RunOutcome) {
         let m = counter_module();
         let c = compile(&m);
-        let machine = Machine::new(MachineConfig::small(n_threads));
+        let machine = Machine::new(MachineConfig::cores(n_threads).small());
         let counter = machine.host_alloc(8, true);
         let tm = c.module.expect("thread_main");
         let plans: Vec<ThreadPlan> = (0..n_threads)
@@ -248,7 +248,7 @@ mod tests {
         m.add_function(b.finish());
 
         let c = compile(&m);
-        let machine = Machine::new(MachineConfig::small(1));
+        let machine = Machine::new(MachineConfig::cores(1).small());
         let cfg = machine.config().clone();
         // Stride of l1_sets lines => same set index every time.
         let stride_words = (cfg.l1_sets as u64) * 8;

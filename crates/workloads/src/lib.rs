@@ -88,6 +88,42 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     ]
 }
 
+/// The ten benchmarks at smoke scale (the harnesses' `--quick` set), in
+/// the same order and under the same names as [`all_workloads`].
+pub fn quick_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(genome::Genome::tiny()),
+        Box::new(intruder::Intruder::tiny()),
+        Box::new(kmeans::Kmeans::tiny()),
+        Box::new(labyrinth::Labyrinth::tiny()),
+        Box::new(ssca2::Ssca2::tiny()),
+        Box::new(vacation::Vacation::tiny()),
+        Box::new(list::ListBench::lo()),
+        Box::new(list::ListBench::hi()),
+        Box::new(tsp::Tsp::tiny()),
+        Box::new(memcached::Memcached::tiny()),
+    ]
+}
+
+/// Registry lookup: the workload called `name` (as printed in the paper's
+/// tables) at bench scale, or at smoke scale with `quick`. This is how
+/// serialized experiment specs resolve their `workload` field back to a
+/// runnable program.
+pub fn workload_by_name(name: &str, quick: bool) -> Option<Box<dyn Workload>> {
+    let set = if quick {
+        quick_workloads()
+    } else {
+        all_workloads()
+    };
+    set.into_iter().find(|w| w.name() == name)
+}
+
+/// Every registered workload name, in table order (both scales share the
+/// same names).
+pub fn workload_names() -> Vec<&'static str> {
+    all_workloads().iter().map(|w| w.name()).collect()
+}
+
 /// Per-thread statistics slots: each thread reports counters back to the
 /// host in its own cache line (8 words), so the reporting itself never
 /// contends. Returns the base address; thread `t` owns

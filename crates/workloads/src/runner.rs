@@ -113,7 +113,7 @@ impl<'w> PreparedWorkload<'w> {
     pub fn run(&self, mode: Mode, n_threads: usize, seed: u64) -> BenchResult {
         self.run_cfg(
             seed,
-            MachineConfig::with_cores(n_threads),
+            MachineConfig::cores(n_threads),
             RuntimeConfig::with_mode(mode),
         )
     }
@@ -192,7 +192,7 @@ pub fn run_benchmark(w: &dyn Workload, mode: Mode, n_threads: usize, seed: u64) 
     run_benchmark_cfg(
         w,
         seed,
-        MachineConfig::with_cores(n_threads),
+        MachineConfig::cores(n_threads),
         RuntimeConfig::with_mode(mode),
     )
 }

@@ -92,7 +92,7 @@ fn build_module() -> Module {
 fn run(mode: Mode) -> (u64, u64, f64, u64, u64) {
     let module = build_module();
     let compiled = compile(&module);
-    let machine = Machine::new(MachineConfig::small(THREADS));
+    let machine = Machine::new(MachineConfig::cores(THREADS).small());
     let accounts = machine.host_alloc(N_ACCOUNTS * 8, true);
     for a in 0..N_ACCOUNTS {
         machine.host_store(accounts + a * 64, 1_000);

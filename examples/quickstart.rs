@@ -67,7 +67,7 @@ fn build_module() -> Module {
 fn run(mode: Mode, rounds: u64) -> (u64, f64, u64, u64) {
     let module = build_module();
     let compiled = compile(&module);
-    let machine = Machine::new(MachineConfig::small(3));
+    let machine = Machine::new(MachineConfig::cores(3).small());
     let stats = machine.host_alloc(8, true);
     let plans: Vec<ThreadPlan> = (0..3)
         .map(|_| {

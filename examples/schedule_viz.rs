@@ -50,7 +50,7 @@ fn build_module() -> Module {
 fn run_and_render(mode: Mode, rounds: u64) -> (String, u64, u64) {
     let module = build_module();
     let compiled = compile(&module);
-    let mut mcfg = MachineConfig::small(3);
+    let mut mcfg = MachineConfig::cores(3).small();
     mcfg.record_events = true;
     let machine = Machine::new(mcfg);
     let shared = machine.host_alloc(8, true);

@@ -51,4 +51,26 @@ if grep -qv '^{.*}$' results/profile_events.jsonl; then
 fi
 grep -q 'list_find_prev' results/profile_list-hi.txt
 
+echo "== sweep --quick --spec smoke (ablation-sweep cache smoke)"
+# Cold run: the two-cell smoke sweep computes both cells and populates the
+# content-hashed cell cache.
+rm -rf results/sweeps-ci
+./target/release/sweep --quick --spec smoke --dir results/sweeps-ci \
+  | tee results/ci_sweep_smoke.txt
+grep -q 'sweep smoke: 2 cells total, 0 cached, 2 computed, 0 remaining' \
+  results/ci_sweep_smoke.txt
+test "$(ls results/sweeps-ci/smoke/cells/*.cell | wc -l)" -eq 2
+test -s results/sweeps-ci/smoke/smoke.json
+test -s results/sweeps-ci/smoke/smoke.csv
+# Warm re-run: every cell must come from the cache (100% hit, zero
+# recomputation) and the emitted tables must be byte-identical.
+cp results/sweeps-ci/smoke/smoke.json results/sweeps-ci/smoke.json.cold
+cp results/sweeps-ci/smoke/smoke.csv results/sweeps-ci/smoke.csv.cold
+./target/release/sweep --quick --spec smoke --dir results/sweeps-ci \
+  | tee results/ci_sweep_smoke_rerun.txt
+grep -q 'sweep smoke: 2 cells total, 2 cached, 0 computed, 0 remaining' \
+  results/ci_sweep_smoke_rerun.txt
+cmp results/sweeps-ci/smoke/smoke.json results/sweeps-ci/smoke.json.cold
+cmp results/sweeps-ci/smoke/smoke.csv results/sweeps-ci/smoke.csv.cold
+
 echo "== ci.sh: all gates passed"

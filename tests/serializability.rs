@@ -67,7 +67,7 @@ fn run_accumulator(
 ) -> u64 {
     let module = accumulator_module(n_slots, adds);
     let compiled = stagger_compiler::compile(&module);
-    let machine = htm_sim::Machine::new(htm_sim::MachineConfig::small(n_threads));
+    let machine = htm_sim::Machine::new(htm_sim::MachineConfig::cores(n_threads).small());
     let slots = machine.host_alloc(n_slots * 8, true);
     let plans: Vec<ThreadPlan> = (0..n_threads)
         .map(|t| ThreadPlan {
