@@ -32,7 +32,7 @@
 //! time.
 
 use htm_sim::Scheduler;
-use stagger_core::Mode;
+use stagger_core::{Interp, Mode};
 use workloads::{BenchResult, PreparedWorkload, Workload};
 
 pub mod jobs;
@@ -56,10 +56,13 @@ common options:
   --json           also dump per-run throughput to results/BENCH_<exhibit>.json
   --scheduler S    host-side core driver: cooperative (default) or threaded;
                    overrides the HTM_SIM_SCHEDULER environment variable
+  --interp I       instruction walker: bytecode (default, pre-decoded µ-ops)
+                   or legacy (tree-walking reference); simulated results are
+                   bit-identical either way, only host speed differs
   --help           show this message";
 
 const COMMON_USAGE_LINE: &str =
-    "[--threads N] [--quick] [--seed N] [--jobs N] [--json] [--scheduler S]";
+    "[--threads N] [--quick] [--seed N] [--jobs N] [--json] [--scheduler S] [--interp I]";
 
 /// Parse a [`Mode`] by its display name, case-insensitively; `+` may be
 /// omitted ("staggeredsw" ≡ "Staggered+SW"). Thin wrapper over
@@ -169,6 +172,9 @@ pub struct CommonOpts {
     /// Host-side scheduler pin (`--scheduler`). `None` leaves the
     /// `HTM_SIM_SCHEDULER` environment variable as the fallback.
     pub scheduler: Option<Scheduler>,
+    /// Interpreter pin (`--interp`). `None` keeps the runtime default
+    /// (the pre-decoded bytecode walker).
+    pub interp: Option<Interp>,
 }
 
 impl CommonOpts {
@@ -180,6 +186,7 @@ impl CommonOpts {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             json: false,
             scheduler: None,
+            interp: None,
         }
     }
 
@@ -218,6 +225,13 @@ impl CommonOpts {
                         Some(Scheduler::parse(&v).unwrap_or_else(|| {
                             a.fail(&format!("invalid --scheduler value '{v}'"))
                         }));
+                }
+                "--interp" => {
+                    let v = a.value("--interp");
+                    o.interp = Some(
+                        Interp::parse(&v)
+                            .unwrap_or_else(|| a.fail(&format!("invalid --interp value '{v}'"))),
+                    );
                 }
                 "--help" | "-h" => {
                     println!("usage: {} {}", a.program, a.usage_line);

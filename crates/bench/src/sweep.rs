@@ -70,13 +70,16 @@ impl RunSpec {
         }
     }
 
-    /// A spec taking threads, seed, quick and the scheduler pin from the
-    /// harness's common flags.
+    /// A spec taking threads, seed, quick and the scheduler/interpreter
+    /// pins from the harness's common flags.
     pub fn from_opts(opts: &CommonOpts, workload: &str, mode: Mode) -> RunSpec {
         let mut s = RunSpec::new(workload, mode, opts.threads, opts.seed);
         s.quick = opts.quick;
         if let Some(sched) = opts.scheduler {
             s.machine = s.machine.scheduler(sched);
+        }
+        if let Some(interp) = opts.interp {
+            s.runtime.interp = interp;
         }
         s
     }

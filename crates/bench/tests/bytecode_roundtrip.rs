@@ -1,0 +1,208 @@
+//! Golden round-trip of the µ-op lowering: for every workload's
+//! instrumented module, walk each `PreparedFunc` block alongside its
+//! lowered `BytecodeFunc` and check that
+//!
+//! * every µ-op corresponds to exactly the source instruction(s) at the
+//!   cursor — fused superinstructions to a legal adjacent pair, singles
+//!   to their own variant;
+//! * every µ-op carries the PC the legacy interpreter would report for
+//!   the instruction whose simulated-memory behavior it owns (the
+//!   anchored access for ALP fusions, the load for load+use fusions,
+//!   the instruction itself otherwise);
+//! * every branch target resolved to the absolute µ-op index of the
+//!   source block's first µ-op;
+//! * the cursor lands exactly on the next block's start — no µ-op is
+//!   skipped, duplicated or orphaned;
+//! * the disassembler covers the whole µ-op array.
+
+use stagger_bench::workload_set;
+use tm_interp::{BytecodeFunc, OpCode, Prepared, NO_REG};
+use tm_ir::Inst;
+use workloads::PreparedWorkload;
+
+/// The opcode a *single* (unfused) lowering of `inst` must carry.
+fn single_opcode(inst: &Inst) -> OpCode {
+    match inst {
+        Inst::Const { .. } => OpCode::Const,
+        Inst::Mov { .. } => OpCode::Mov,
+        Inst::Bin { .. } => OpCode::Bin,
+        Inst::Cmp { .. } => OpCode::Cmp,
+        Inst::Load { .. } => OpCode::Load,
+        Inst::Store { .. } => OpCode::Store,
+        Inst::LoadIdx { .. } => OpCode::LoadIdx,
+        Inst::StoreIdx { .. } => OpCode::StoreIdx,
+        Inst::Gep { .. } => OpCode::Gep,
+        Inst::Alloc { .. } => OpCode::Alloc,
+        Inst::Call { .. } => OpCode::Call,
+        Inst::Ret { .. } => OpCode::Ret,
+        Inst::Br { .. } => OpCode::Br,
+        Inst::CondBr { .. } => OpCode::CondBr,
+        Inst::Compute { .. } => OpCode::Compute,
+        Inst::Rand { .. } => OpCode::Rand,
+        Inst::AlPoint { .. } => OpCode::AlPoint,
+    }
+}
+
+/// Check one fused µ-op against the source pair it consumed. Returns the
+/// PC the µ-op must carry.
+fn check_fusion(
+    code: OpCode,
+    first: &Inst,
+    first_pc: u64,
+    second: &Inst,
+    second_pc: u64,
+    ctx: &str,
+) -> u64 {
+    match code {
+        OpCode::CmpBr => {
+            let Inst::Cmp { dst, .. } = first else {
+                panic!("{ctx}: CmpBr without a leading Cmp ({first:?})");
+            };
+            let Inst::CondBr { cond, .. } = second else {
+                panic!("{ctx}: CmpBr without a trailing CondBr ({second:?})");
+            };
+            assert_eq!(cond, dst, "{ctx}: CmpBr branches on a foreign register");
+            first_pc
+        }
+        OpCode::LoadCmp | OpCode::LoadBin => {
+            assert!(
+                matches!(first, Inst::Load { .. }),
+                "{ctx}: load+use without a leading Load ({first:?})"
+            );
+            match (code, second) {
+                (OpCode::LoadCmp, Inst::Cmp { .. }) => {}
+                (OpCode::LoadBin, Inst::Bin { op, .. }) => {
+                    assert!(
+                        !matches!(op, tm_ir::BinOp::Div | tm_ir::BinOp::Rem),
+                        "{ctx}: Div/Rem must never fuse (trap PC would be lost)"
+                    );
+                }
+                _ => panic!("{ctx}: load+use with a non-ALU use ({second:?})"),
+            }
+            first_pc
+        }
+        OpCode::AlpLoad | OpCode::AlpLoadIdx | OpCode::AlpStore | OpCode::AlpStoreIdx => {
+            assert!(
+                first.alp_covers(second),
+                "{ctx}: ALP fusion over a non-covered access ({first:?} / {second:?})"
+            );
+            let shaped = match code {
+                OpCode::AlpLoad => matches!(second, Inst::Load { .. }),
+                OpCode::AlpLoadIdx => matches!(second, Inst::LoadIdx { .. }),
+                OpCode::AlpStore => matches!(second, Inst::Store { .. }),
+                OpCode::AlpStoreIdx => matches!(second, Inst::StoreIdx { .. }),
+                _ => unreachable!(),
+            };
+            assert!(shaped, "{ctx}: ALP fusion shape mismatch ({second:?})");
+            second_pc
+        }
+        _ => panic!("{ctx}: fused_width says 2 for non-fused opcode {code:?}"),
+    }
+}
+
+fn check_func(fname: &str, pf: &tm_interp::prepared::PreparedFunc, bf: &BytecodeFunc) {
+    assert_eq!(
+        bf.block_starts.len(),
+        pf.blocks.len(),
+        "{fname}: one start per source block"
+    );
+    assert_eq!(
+        bf.entry,
+        bf.block_starts[pf.entry.index()],
+        "{fname}: entry resolves to the entry block's first µ-op"
+    );
+
+    for (bid, block) in pf.blocks.iter().enumerate() {
+        let mut ip = bf.block_starts[bid] as usize;
+        let mut j = 0;
+        while j < block.len() {
+            let ctx = format!("{fname} block {bid} inst {j} (µ-op {ip})");
+            let u = &bf.uops[ip];
+            let width = BytecodeFunc::fused_width(u.code);
+            let (inst, pc) = &block[j];
+            if width == 2 {
+                let (second, second_pc) = &block[j + 1];
+                let want_pc = check_fusion(u.code, inst, *pc, second, *second_pc, &ctx);
+                assert_eq!(u.pc, want_pc, "{ctx}: fused µ-op PC");
+            } else {
+                assert_eq!(u.code, single_opcode(inst), "{ctx}: opcode");
+                assert_eq!(u.pc, *pc, "{ctx}: µ-op PC");
+            }
+            // Branch targets must resolve to block starts of the *source*
+            // instruction's targets, whichever constituent carried them.
+            let branch = if width == 2 { &block[j + 1].0 } else { inst };
+            match branch {
+                Inst::Br { target } => {
+                    assert_eq!(u.imm, bf.block_starts[target.index()], "{ctx}: Br target");
+                }
+                Inst::CondBr { then_b, else_b, .. } => {
+                    assert_eq!(u.imm, bf.block_starts[then_b.index()], "{ctx}: then target");
+                    assert_eq!(
+                        u.imm2,
+                        bf.block_starts[else_b.index()],
+                        "{ctx}: else target"
+                    );
+                }
+                _ => {}
+            }
+            // Call argument slots must mirror the source argument list.
+            if let Inst::Call { args, dst, .. } = inst {
+                assert_eq!(u.c as usize, args.len(), "{ctx}: Call arity");
+                for (k, r) in args.iter().enumerate() {
+                    assert_eq!(
+                        bf.arg_pool[u.imm2 as usize + k] as u32,
+                        r.0,
+                        "{ctx}: Call arg {k}"
+                    );
+                }
+                if dst.is_none() {
+                    assert_eq!(u.a, NO_REG, "{ctx}: void Call writes no register");
+                }
+            }
+            ip += 1;
+            j += width;
+        }
+        let block_end = bf
+            .block_starts
+            .get(bid + 1)
+            .map_or(bf.uops.len(), |&s| s as usize);
+        assert_eq!(
+            ip, block_end,
+            "{fname} block {bid}: lowering consumed exactly the block"
+        );
+    }
+
+    let lines = bf.disasm();
+    assert_eq!(
+        lines.len(),
+        bf.uops.len(),
+        "{fname}: disassembler covers every µ-op"
+    );
+}
+
+/// Every workload, both scales: the lowered bytecode round-trips against
+/// the prepared enum form, instruction by instruction.
+#[test]
+fn every_workload_module_round_trips() {
+    for quick in [true, false] {
+        for w in &workload_set(quick) {
+            let p = PreparedWorkload::new(w.as_ref());
+            let prep = Prepared::build(p.compiled());
+            assert_eq!(prep.funcs.len(), prep.code.funcs.len());
+            let mut fused = 0usize;
+            for (pf, bf) in prep.funcs.iter().zip(&prep.code.funcs) {
+                check_func(&pf.name, pf, bf);
+                fused += bf
+                    .uops
+                    .iter()
+                    .filter(|u| BytecodeFunc::fused_width(u.code) == 2)
+                    .count();
+            }
+            assert!(
+                fused > 0,
+                "{}: instrumented modules always offer fusion opportunities",
+                w.name()
+            );
+        }
+    }
+}

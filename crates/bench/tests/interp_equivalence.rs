@@ -1,0 +1,136 @@
+//! The tentpole invariant of the µ-op bytecode interpreter: for every
+//! workload, the pre-decoded bytecode walker and the legacy tree-walking
+//! reference produce *byte-identical* simulations — same per-core
+//! statistics, same execution cycles, same begin/commit/abort traces,
+//! same cycle-stamped observability event streams, same runtime and
+//! execution counters. The interpreters may only differ in host-side
+//! speed, never in what the simulated machine does.
+//!
+//! The same holds for the per-core line-permission cache: it is a pure
+//! fast path over accesses whose ownership bits are already set, so
+//! disabling it (`perm_cache_lines = 0`) must not change any simulated
+//! quantity either.
+
+use htm_sim::{Machine, MachineConfig, ObsEvent};
+use stagger_bench::workload_set;
+use stagger_core::{Interp, Mode, RtStats, RuntimeConfig};
+use tm_interp::ExecStats;
+use workloads::PreparedWorkload;
+
+/// Everything one simulation produced: stats snapshot, traces,
+/// observability event streams, thread return values, runtime counters,
+/// dynamic execution counters.
+type RunArtifacts = (
+    htm_sim::SimStats,
+    Vec<Vec<htm_sim::TraceEvent>>,
+    Vec<Vec<ObsEvent>>,
+    Vec<u64>,
+    RtStats,
+    ExecStats,
+);
+
+/// Run one prepared workload under the given interpreter and machine
+/// configuration.
+fn run_under(
+    p: &PreparedWorkload,
+    interp: Interp,
+    mcfg: MachineConfig,
+    mode: Mode,
+    seed: u64,
+) -> RunArtifacts {
+    let machine = Machine::new(mcfg);
+    let mut rt_cfg = RuntimeConfig::with_mode(mode);
+    rt_cfg.interp = interp;
+    let r = p.run_on(&machine, &rt_cfg, seed);
+    (
+        machine.stats(),
+        machine.take_trace(),
+        machine.take_events(),
+        r.out.returns,
+        r.out.rt,
+        r.out.exec,
+    )
+}
+
+fn traced(threads: usize) -> MachineConfig {
+    let mut mcfg = MachineConfig::cores(threads);
+    mcfg.record_trace = true;
+    mcfg.record_events = true;
+    mcfg
+}
+
+fn assert_identical(a: &RunArtifacts, b: &RunArtifacts, what: &str, name: &str, mode: Mode) {
+    assert_eq!(
+        a.0,
+        b.0,
+        "{name} [{}]: per-core stats diverged across {what}",
+        mode.name()
+    );
+    assert_eq!(
+        a.1,
+        b.1,
+        "{name} [{}]: traces diverged across {what}",
+        mode.name()
+    );
+    assert_eq!(
+        a.2,
+        b.2,
+        "{name} [{}]: event streams diverged across {what}",
+        mode.name()
+    );
+    assert_eq!(
+        a.3,
+        b.3,
+        "{name} [{}]: thread return values diverged across {what}",
+        mode.name()
+    );
+    assert_eq!(
+        a.4,
+        b.4,
+        "{name} [{}]: runtime counters diverged across {what}",
+        mode.name()
+    );
+    assert_eq!(
+        a.5,
+        b.5,
+        "{name} [{}]: execution counters diverged across {what}",
+        mode.name()
+    );
+}
+
+/// All ten workloads (`--quick` configs), both contended modes: the
+/// bytecode and legacy interpreters must match exactly.
+#[test]
+fn bytecode_and_legacy_interpreters_are_bit_identical() {
+    let set = workload_set(true);
+    assert_eq!(set.len(), 10);
+    for w in &set {
+        let p = PreparedWorkload::new(w.as_ref());
+        for mode in [Mode::Htm, Mode::Staggered] {
+            let fast = run_under(&p, Interp::Bytecode, traced(4), mode, 2015);
+            let slow = run_under(&p, Interp::Legacy, traced(4), mode, 2015);
+            assert_identical(&fast, &slow, "interpreters", w.name(), mode);
+        }
+    }
+}
+
+/// The line-permission cache is latency-transparent: runs with the cache
+/// disabled are bit-identical to runs with the default cache size.
+#[test]
+fn permission_cache_is_simulation_transparent() {
+    let set = workload_set(true);
+    for w in &set {
+        let p = PreparedWorkload::new(w.as_ref());
+        for mode in [Mode::Htm, Mode::Staggered] {
+            let on = run_under(&p, Interp::Bytecode, traced(4), mode, 2015);
+            let off = run_under(
+                &p,
+                Interp::Bytecode,
+                traced(4).perm_cache_lines(0),
+                mode,
+                2015,
+            );
+            assert_identical(&on, &off, "permission-cache settings", w.name(), mode);
+        }
+    }
+}

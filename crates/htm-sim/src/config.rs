@@ -150,6 +150,17 @@ pub struct MachineConfig {
     /// variable is only a fallback — it no longer overrides. Set by the
     /// `scheduler(..)` builder method and by [`Self::set_kv`].
     pub scheduler_pinned: bool,
+    /// Capacity (in lines, rounded up to a power of two; 0 disables) of
+    /// the per-core line-permission cache: per transaction attempt, the
+    /// simulator remembers lines whose read/write ownership bits it has
+    /// already set so repeat accesses skip the owner-directory probe.
+    /// Host-only: under requester-wins conflict resolution a held
+    /// permission can only be revoked by dooming this core (which clears
+    /// the cache), so simulated cycles, stats, traces and events are
+    /// bit-identical at any size. Like `Interp`, the knob is therefore
+    /// excluded from `to_kv`/`set_kv` so experiment-spec run keys never
+    /// depend on it.
+    pub perm_cache_lines: usize,
 }
 
 impl Default for MachineConfig {
@@ -179,6 +190,7 @@ impl Default for MachineConfig {
             event_ring_capacity: 1 << 20,
             scheduler: Scheduler::Cooperative,
             scheduler_pinned: false,
+            perm_cache_lines: 32,
         }
     }
 }
@@ -192,13 +204,6 @@ impl MachineConfig {
             n_cores: n,
             ..Default::default()
         }
-    }
-
-    /// Deprecated alias of [`Self::cores`], kept one release for external
-    /// callers.
-    #[deprecated(since = "0.1.0", note = "use MachineConfig::cores(n)")]
-    pub fn with_cores(n: usize) -> Self {
-        Self::cores(n)
     }
 
     /// Shrink simulated memory to 2 MiB — fast to allocate/zero, the
@@ -243,6 +248,12 @@ impl MachineConfig {
     pub fn scheduler(mut self, s: Scheduler) -> Self {
         self.scheduler = s;
         self.scheduler_pinned = true;
+        self
+    }
+
+    /// Size the per-core line-permission cache (0 disables the fast path).
+    pub fn perm_cache_lines(mut self, lines: usize) -> Self {
+        self.perm_cache_lines = lines;
         self
     }
 
@@ -322,6 +333,9 @@ impl MachineConfig {
                     .ok_or_else(|| format!("machine.scheduler: invalid value '{value}'"))?;
                 self.scheduler_pinned = true;
             }
+            // `perm_cache_lines` is intentionally not settable here: it
+            // cannot change simulated results, so it is not part of the
+            // experiment spec (accepting it would silently fork run keys).
             other => return Err(format!("machine.{other}: unknown key")),
         }
         Ok(())
@@ -371,14 +385,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn with_cores_shim_matches_cores() {
-        let a = MachineConfig::cores(5);
-        let b = MachineConfig::cores(5);
-        assert_eq!(a.to_kv(), b.to_kv());
-    }
-
-    #[test]
     fn kv_round_trips_every_key() {
         let c = MachineConfig::cores(3)
             .small()
@@ -400,6 +406,19 @@ mod tests {
         assert!(c.set_kv("pc_tag_bits", "wide").is_err());
         assert!(c.set_kv("protocol", "psychic").is_err());
         assert!(c.set_kv("scheduler", "gpu").is_err());
+        assert!(
+            c.set_kv("perm_cache_lines", "64").is_err(),
+            "perm_cache_lines is host-only and must not enter run keys"
+        );
+    }
+
+    #[test]
+    fn perm_cache_is_a_host_knob_outside_the_spec() {
+        let c = MachineConfig::cores(2).perm_cache_lines(64);
+        assert_eq!(c.perm_cache_lines, 64);
+        // Varying it must not change the serialized spec (and hence no
+        // sweep-cell run key).
+        assert_eq!(c.to_kv(), MachineConfig::cores(2).to_kv());
     }
 
     #[test]

@@ -126,18 +126,21 @@ impl Machine {
                     pending: 0,
                     last_clock: 0,
                     record: self.cfg.record_events,
+                    coop: true,
                 }))
             })
             .collect();
         let mut cx = Context::from_waker(Waker::noop());
-        let mut next = self.shared.lock().next_eligible();
+        // `schedule` also caches the runner-up (clock, id) pair, against
+        // which the resumed core's gates test eligibility without a scan.
+        let mut next = self.shared.lock().schedule();
         while let Some(n) = next {
             let prog = programs[n].as_mut().expect("eligible core has a program");
             let ready = prog.as_mut().poll(&mut cx).is_ready();
             if ready {
                 programs[n] = None;
             }
-            next = self.shared.lock().next_eligible();
+            next = self.shared.lock().schedule();
             if !ready && next == Some(n) {
                 // A gate never suspends while its core is eligible, so a
                 // pending program that is still the minimum awaited some
@@ -162,6 +165,7 @@ impl Machine {
                         pending: 0,
                         last_clock: 0,
                         record,
+                        coop: false,
                     });
                     let mut cx = Context::from_waker(Waker::noop());
                     while prog.as_mut().poll(&mut cx).is_pending() {
@@ -277,6 +281,11 @@ pub struct Core<'m> {
     /// Cached [`MachineConfig::record_events`]: when false, [`Core::note`]
     /// is a single branch (no lock, no allocation).
     record: bool,
+    /// Running under the cooperative driver: gates test eligibility
+    /// against the event loop's cached [`SimState::horizon`] pair (one
+    /// comparison) instead of scanning every core, and skip the
+    /// wake-the-next-core scan entirely (cooperative cores never park).
+    coop: bool,
 }
 
 impl<'m> Core<'m> {
@@ -312,25 +321,37 @@ impl<'m> Core<'m> {
             let mut st = self.shared.lock();
             st.cores[tid].clock += self.pending;
             self.pending = 0;
-            match st.next_eligible() {
-                Some(n) if n == tid => {}
-                Some(n) => {
-                    // Our arrival may have shifted the minimum to a parked
-                    // core — wake it before we suspend.
-                    if st.cores[n].waiting {
-                        self.shared.cvs[n].notify_one();
-                    }
+            if self.coop {
+                // Only this core's clock can have moved since the event
+                // loop resumed it, so eligibility is one comparison
+                // against the cached runner-up; no core ever parks, so
+                // there is nobody to wake on either side of the op.
+                if (st.cores[tid].clock, tid) > st.horizon {
                     return Poll::Pending;
                 }
-                None => unreachable!("calling core cannot be finished"),
+            } else {
+                match st.next_eligible() {
+                    Some(n) if n == tid => {}
+                    Some(n) => {
+                        // Our arrival may have shifted the minimum to a
+                        // parked core — wake it before we suspend.
+                        if st.cores[n].waiting {
+                            self.shared.cvs[n].notify_one();
+                        }
+                        return Poll::Pending;
+                    }
+                    None => unreachable!("calling core cannot be finished"),
+                }
             }
             st.cores[tid].stats.gated_ops += 1;
             let (r, lat) = (f.take().expect("gate op polled after completion"))(&mut st, tid);
             st.cores[tid].clock += lat;
             self.last_clock = st.cores[tid].clock;
-            if let Some(n) = st.next_eligible() {
-                if n != tid && st.cores[n].waiting {
-                    self.shared.cvs[n].notify_one();
+            if !self.coop {
+                if let Some(n) = st.next_eligible() {
+                    if n != tid && st.cores[n].waiting {
+                        self.shared.cvs[n].notify_one();
+                    }
                 }
             }
             Poll::Ready(r)
@@ -475,9 +496,11 @@ impl Drop for Core<'_> {
         self.pending = 0;
         st.cores[tid].finished = true;
         self.last_clock = st.cores[tid].clock;
-        if let Some(n) = st.next_eligible() {
-            if st.cores[n].waiting {
-                self.shared.cvs[n].notify_one();
+        if !self.coop {
+            if let Some(n) = st.next_eligible() {
+                if st.cores[n].waiting {
+                    self.shared.cvs[n].notify_one();
+                }
             }
         }
     }

@@ -98,17 +98,69 @@ struct TxState {
     write_buffer: Vec<(Addr, u64)>,
     /// Lines already rolled back by a remote requester.
     rolled_back: bool,
+    /// Line-permission cache: a direct-mapped table over lines whose
+    /// read (`perm_write[i] == false` suffices) or write ownership bits
+    /// this attempt has already set, letting repeat accesses skip the
+    /// owner-directory probe. Sound under requester-wins resolution: any
+    /// remote access that would revoke a held permission dooms this core
+    /// first, and a doomed core aborts (via `check_doomed`) before its next
+    /// access — so a non-doomed attempt's cached permissions are always
+    /// current. `u64::MAX` marks an empty slot; cleared by `reset` (every
+    /// attempt starts cold) and defensively on `doom`.
+    perm_lines: Vec<u64>,
+    /// Write-permission bit per `perm_lines` slot.
+    perm_write: Vec<bool>,
 }
 
 impl TxState {
     /// Clear for reuse by a fresh transaction, keeping the allocations.
-    fn reset(&mut self, ab_id: u32, start_clock: u64) {
+    /// `perm_slots` is the (power-of-two or zero) permission-cache size.
+    fn reset(&mut self, ab_id: u32, start_clock: u64, perm_slots: usize) {
         self.ab_id = ab_id;
         self.start_clock = start_clock;
         self.lines.clear();
         self.undo.clear();
         self.write_buffer.clear();
         self.rolled_back = false;
+        if self.perm_lines.len() == perm_slots {
+            self.perm_lines.fill(u64::MAX);
+            self.perm_write.fill(false);
+        } else {
+            self.perm_lines = vec![u64::MAX; perm_slots];
+            self.perm_write = vec![false; perm_slots];
+        }
+    }
+
+    /// Does this attempt hold a cached permission for `line` (write
+    /// permission if `write`)?
+    #[inline]
+    fn perm_has(&self, line: u64, write: bool) -> bool {
+        if self.perm_lines.is_empty() {
+            return false;
+        }
+        let i = (line as usize) & (self.perm_lines.len() - 1);
+        self.perm_lines[i] == line && (!write || self.perm_write[i])
+    }
+
+    /// Cache a granted permission (upgrades read → write in place; a
+    /// colliding line simply evicts the previous occupant).
+    #[inline]
+    fn perm_insert(&mut self, line: u64, write: bool) {
+        if self.perm_lines.is_empty() {
+            return;
+        }
+        let i = (line as usize) & (self.perm_lines.len() - 1);
+        if self.perm_lines[i] == line {
+            self.perm_write[i] |= write;
+        } else {
+            self.perm_lines[i] = line;
+            self.perm_write[i] = write;
+        }
+    }
+
+    fn perm_clear(&mut self) {
+        self.perm_lines.fill(u64::MAX);
+        self.perm_write.fill(false);
     }
 
     fn find(&self, line: u64) -> Result<usize, usize> {
@@ -230,6 +282,17 @@ pub(crate) struct SimState {
     /// not a hash probe.
     owners: Vec<Owners>,
     heap_next: Addr,
+    /// Derived from `cfg.perm_cache_lines`: direct-mapped permission-cache
+    /// slot count (rounded up to a power of two; 0 = fast path disabled).
+    perm_slots: usize,
+    /// Cooperative-driver gate horizon: the minimum `(clock, id)` over
+    /// unfinished cores *other than* the one currently resumed (set by
+    /// [`SimState::schedule`]). While that core runs, no other core's
+    /// clock can change, so its gates admit ops with one comparison
+    /// against this pair instead of an `O(n_cores)` [`SimState::next_eligible`]
+    /// scan. The threaded driver never reads it (its cores advance
+    /// concurrently between gates, which would stale the cached pair).
+    pub horizon: (u64, usize),
 }
 
 /// First heap address — 0 stays an invalid ("null") address.
@@ -260,6 +323,12 @@ impl SimState {
             cores,
             owners: vec![Owners::default(); cfg.mem_words / WORDS_PER_LINE as usize],
             heap_next: HEAP_BASE,
+            perm_slots: if cfg.perm_cache_lines == 0 {
+                0
+            } else {
+                cfg.perm_cache_lines.next_power_of_two()
+            },
+            horizon: (u64::MAX, usize::MAX),
             cfg,
         }
     }
@@ -273,6 +342,36 @@ impl SimState {
             .filter(|(_, c)| !c.finished)
             .min_by_key(|(i, c)| (c.clock, *i))
             .map(|(i, _)| i)
+    }
+
+    /// [`SimState::next_eligible`] plus, in the same pass, the runner-up
+    /// `(clock, id)` pair stored into [`SimState::horizon`]. The
+    /// cooperative event loop calls this once per resumption; the chosen
+    /// core's gates then stay eligible exactly while their own
+    /// `(clock, id)` is `<=` the horizon.
+    pub fn schedule(&mut self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut second = (u64::MAX, usize::MAX);
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.finished {
+                continue;
+            }
+            let k = (c.clock, i);
+            match best {
+                None => best = Some(k),
+                Some(b) if k < b => {
+                    second = b;
+                    best = Some(k);
+                }
+                Some(_) => {
+                    if k < second {
+                        second = k;
+                    }
+                }
+            }
+        }
+        self.horizon = second;
+        best.map(|(_, i)| i)
     }
 
     // ----- memory & caches ----------------------------------------------
@@ -427,6 +526,12 @@ impl SimState {
         let first = tx.first_pc_of(line);
         let lines = std::mem::take(&mut tx.lines);
         tx.rolled_back = true;
+        // The doomed attempt's cached permissions are void the instant its
+        // ownership bits are released below. Strictly, no access can use
+        // them anyway — the victim's next transactional op consumes the
+        // doom in `check_doomed` before reaching the fast path — but
+        // clearing here keeps the invariant local.
+        tx.perm_clear();
         core.doomed = Some(Doomed {
             info: AbortInfo {
                 cause: AbortCause::Conflict,
@@ -517,6 +622,7 @@ impl SimState {
     pub fn tx_begin(&mut self, tid: usize, ab_id: u32) -> u64 {
         self.record(tid, TraceKind::Begin(ab_id));
         self.note(tid, ObsKind::TxBegin { ab_id });
+        let perm_slots = self.perm_slots;
         let core = &mut self.cores[tid];
         assert!(
             core.tx.is_none(),
@@ -526,7 +632,7 @@ impl SimState {
         // on cannot exist: check_doomed consumed it. Defensive clear:
         core.doomed = None;
         let mut tx = core.spare_tx.take().unwrap_or_default();
-        tx.reset(ab_id, core.clock);
+        tx.reset(ab_id, core.clock, perm_slots);
         core.tx = Some(tx);
         self.cfg.tx_begin_cost
     }
@@ -546,17 +652,49 @@ impl SimState {
         if let Err(e) = self.check_doomed(tid) {
             return (Err(e), 0);
         }
+        let line = line_of(addr);
+        // Fast path: the attempt already holds (at least read) permission
+        // for the line, so the conflict probe and directory/footprint
+        // updates are provably no-ops — any remote access that could have
+        // revoked the permission would have doomed us, and we just passed
+        // `check_doomed`. The L1 is consulted with the side-effect-free
+        // `contains` first, then touched exactly once, matching the slow
+        // path's single LRU stamp on its L1-hit arm.
+        let fast = {
+            let core = &mut self.cores[tid];
+            match core.tx.as_mut() {
+                Some(tx) if tx.perm_has(line, false) && core.l1.contains(line) => {
+                    debug_assert!(tx.spec_contains(line));
+                    core.l1.touch(line);
+                    core.stats.tx_mem_ops += 1;
+                    Some(tx.buffered(addr))
+                }
+                _ => None,
+            }
+        };
+        if let Some(buffered) = fast {
+            debug_assert!(
+                (self.owners[line as usize].readers | self.owners[line as usize].writers)
+                    & (1 << tid)
+                    != 0,
+                "cached permission without an ownership bit"
+            );
+            return (
+                Ok(buffered.unwrap_or_else(|| self.read_word(addr))),
+                self.cfg.l1_latency,
+            );
+        }
         assert!(self.tx_active(tid), "tx_load outside transaction");
         if self.cfg.protocol == HtmProtocol::Eager {
             // Eager: a read request aborts any remote speculative writer.
             self.resolve_conflicts(tid, addr, false, pc);
         }
-        let line = line_of(addr);
         match self.touch_caches(tid, line, true) {
             Ok(lat) => {
                 let core = &mut self.cores[tid];
                 let tx = core.tx.as_mut().unwrap();
                 tx.touch_line(line, pc, false);
+                tx.perm_insert(line, false);
                 core.stats.tx_mem_ops += 1;
                 // Lazy: our own buffered write shadows memory.
                 let buffered = tx.buffered(addr);
@@ -578,18 +716,54 @@ impl SimState {
         if let Err(e) = self.check_doomed(tid) {
             return (Err(e), 0);
         }
-        assert!(self.tx_active(tid), "tx_store outside transaction");
         let eager = self.cfg.protocol == HtmProtocol::Eager;
+        let line = line_of(addr);
+        // Fast path: *write* permission already held (read permission is
+        // not enough — remote readers may legitimately coexist with it,
+        // and the slow path's conflict resolution must doom them). See
+        // `tx_load` for the revocation-implies-doom argument.
+        let fast = {
+            let core = &mut self.cores[tid];
+            match core.tx.as_mut() {
+                Some(tx) if tx.perm_has(line, true) && core.l1.contains(line) => {
+                    debug_assert!(tx.spec_contains(line));
+                    core.l1.touch(line);
+                    core.stats.tx_mem_ops += 1;
+                    if !eager {
+                        // Private buffer; published at commit.
+                        tx.buffer_store(addr, val);
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if fast {
+            debug_assert!(
+                self.owners[line as usize].writers & (1 << tid) != 0,
+                "cached write permission without the writer bit"
+            );
+            if eager {
+                // In place, undo-logged, exclusive — identical memory
+                // effects, in the same order, as the slow path below.
+                let old = self.read_word(addr);
+                self.cores[tid].tx.as_mut().unwrap().undo.push((addr, old));
+                self.write_word(addr, val);
+                self.invalidate_others(tid, line);
+            }
+            return (Ok(()), self.cfg.l1_latency);
+        }
+        assert!(self.tx_active(tid), "tx_store outside transaction");
         if eager {
             self.resolve_conflicts(tid, addr, true, pc);
         }
-        let line = line_of(addr);
         match self.touch_caches(tid, line, true) {
             Ok(lat) => {
                 let old = self.read_word(addr);
                 let core = &mut self.cores[tid];
                 let tx = core.tx.as_mut().unwrap();
                 tx.touch_line(line, pc, true);
+                tx.perm_insert(line, true);
                 core.stats.tx_mem_ops += 1;
                 self.owner_mut(line).writers |= 1 << tid;
                 let tx = self.cores[tid].tx.as_mut().unwrap();
@@ -1210,5 +1384,89 @@ mod tests {
         s.cores[1].clock += 30;
         s.tx_commit(1).0.unwrap();
         assert_eq!(s.cores[1].stats.useful_tx_cycles, 30 + s.cfg.tx_commit_cost);
+    }
+
+    #[test]
+    fn perm_cache_repeat_accesses_hit_l1_latency() {
+        let mut s = state(2);
+        assert!(s.perm_slots > 0, "default config enables the fast path");
+        let a = s.host_alloc(8, true);
+        s.tx_begin(0, 1);
+        // First store goes the slow way (owner-directory probe + fill).
+        let (r, first_lat) = s.tx_store(0, a, 1, 0x400);
+        r.unwrap();
+        assert!(first_lat > s.cfg.l1_latency);
+        // Repeats hold write permission: L1-latency fast path, same value
+        // flow and footprint as the slow path.
+        let (r, lat) = s.tx_store(0, a, 2, 0x400);
+        r.unwrap();
+        assert_eq!(lat, s.cfg.l1_latency);
+        let (v, lat) = {
+            let (r, lat) = s.tx_load(0, a, 0x404);
+            (r.unwrap(), lat)
+        };
+        assert_eq!(v, 2);
+        assert_eq!(lat, s.cfg.l1_latency);
+        assert_eq!(s.cores[0].stats.tx_mem_ops, 3);
+        s.tx_commit(0).0.unwrap();
+        assert_eq!(s.host_load(a), 2);
+        assert!(s.owners_empty());
+    }
+
+    #[test]
+    fn perm_cache_conflicts_still_detected_after_fast_hits() {
+        let mut s = state(2);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 5);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 10, 0x400).0.unwrap();
+        s.tx_store(0, a, 11, 0x400).0.unwrap(); // fast path
+                                                // A remote writer must still doom core 0 exactly as before.
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 20, 0x500).0.unwrap();
+        assert_eq!(s.host_load(a), 20, "core 0's writes rolled back");
+        // The doomed core cannot sneak a fast-path access past the doom.
+        let (r, _) = s.tx_load(0, a, 0x404);
+        assert_eq!(r.unwrap_err().info().cause, AbortCause::Conflict);
+        s.tx_commit(1).0.unwrap();
+        // The permission cache died with the attempt: a fresh attempt by
+        // core 0 probes the directory again and succeeds normally.
+        s.tx_begin(0, 2);
+        assert_eq!(s.tx_load(0, a, 0x408).0.unwrap(), 20);
+        s.tx_commit(0).0.unwrap();
+    }
+
+    #[test]
+    fn perm_cache_off_is_bit_identical() {
+        // The same scripted contention schedule, with and without the
+        // permission cache: every latency, stat and memory value matches.
+        let run = |perm_lines: usize| {
+            let mut s = SimState::new(MachineConfig::cores(2).small().perm_cache_lines(perm_lines));
+            let a = s.host_alloc(16, true);
+            let mut lats = Vec::new();
+            s.tx_begin(0, 1);
+            for i in 0..4 {
+                let (r, lat) = s.tx_store(0, a, i, 0x400);
+                r.unwrap();
+                lats.push(lat);
+                let (r, lat) = s.tx_load(0, a, 0x404);
+                r.unwrap();
+                lats.push(lat);
+            }
+            s.tx_begin(1, 2);
+            let (r, lat) = s.tx_store(1, a, 99, 0x500);
+            r.unwrap();
+            lats.push(lat);
+            assert!(s.tx_commit(0).0.is_err());
+            s.tx_commit(1).0.unwrap();
+            s.tx_begin(0, 1);
+            let (r, lat) = s.tx_load(0, a, 0x408);
+            lats.push(lat);
+            assert_eq!(r.unwrap(), 99);
+            s.tx_commit(0).0.unwrap();
+            let stats: Vec<CoreStats> = s.cores.iter().map(|c| c.stats.clone()).collect();
+            (lats, stats, s.host_load(a))
+        };
+        assert_eq!(run(0), run(32));
     }
 }

@@ -1,0 +1,695 @@
+//! Pre-decoded µ-op bytecode: the fast interpreter's program format.
+//!
+//! `Prepared` blocks still carry enum instructions whose every execution
+//! re-matches nested `Option`s, chases `BlockId` indirections and re-reads
+//! `Reg` newtypes. This module lowers each [`crate::prepared::PreparedFunc`]
+//! once into a *flat* array of fixed-size [`UOp`]s:
+//!
+//! * branch targets are absolute µ-op indices (no `BlockId` lookup),
+//! * operand register slots, immediates and PCs are inlined in the µ-op,
+//! * common adjacent pairs are fused into superinstructions
+//!   (compare+branch, load+use, ALP+anchor access),
+//! * dispatch is a dense `match` over a `#[repr(u8)]` opcode, which the
+//!   compiler lowers to a jump table.
+//!
+//! Fusion is a pure host-speed device: each fused µ-op charges exactly the
+//! simulated cycles and statistics its constituents would have, in the same
+//! order relative to the core's gates, so simulated results are bit-for-bit
+//! identical to the legacy interpreter (the bench crate's
+//! `interp_equivalence` test enforces this).
+
+use tm_ir::{BinOp, CmpOp, Inst, Pc};
+
+use crate::prepared::PreparedFunc;
+
+/// Register-slot sentinel for "no register" (absent `dst`/`index`/`val`).
+pub const NO_REG: u16 = u16::MAX;
+
+/// Decode tables for the sub-operation stored in [`UOp::xop`]. Encoding
+/// uses `position()` over these same tables, so encode and decode cannot
+/// drift apart.
+pub const BIN_OPS: [BinOp; 10] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+pub const CMP_OPS: [CmpOp; 10] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Slt,
+    CmpOp::Sle,
+    CmpOp::Sgt,
+    CmpOp::Sge,
+];
+
+fn bin_code(op: BinOp) -> u8 {
+    BIN_OPS.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    CMP_OPS.iter().position(|&o| o == op).unwrap() as u8
+}
+
+/// µ-op opcode. `#[repr(u8)]` + a dense `match` in the dispatch loop lets
+/// the compiler emit a jump table instead of an enum-tag decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// `r[a] = imm | imm2 << 32`
+    Const,
+    /// `r[a] = r[b]`
+    Mov,
+    /// `r[a] = r[b] <BIN_OPS[xop]> r[c]`
+    Bin,
+    /// `r[a] = r[b] <CMP_OPS[xop]> r[c]`
+    Cmp,
+    /// `r[a] = mem[r[b] + imm*8]`
+    Load,
+    /// `mem[r[b] + imm*8] = r[a]`
+    Store,
+    /// `r[a] = mem[r[b] + (r[c] + imm)*8]`
+    LoadIdx,
+    /// `mem[r[b] + (r[c] + imm)*8] = r[a]`
+    StoreIdx,
+    /// `r[a] = r[b] + (r[c] + imm)*8`
+    Gep,
+    /// `r[a] = alloc(r[b] words, line_align = xop != 0)`
+    Alloc,
+    /// Call function `imm` with `c` args at `arg_pool[imm2..]`; result to
+    /// `r[a]` unless `a == NO_REG`.
+    Call,
+    /// Return `r[a]` (0 if `a == NO_REG`).
+    Ret,
+    /// `ip = imm`
+    Br,
+    /// `ip = r[a] != 0 ? imm : imm2`
+    CondBr,
+    /// Spend `imm` local cycles.
+    Compute,
+    /// `r[a] = prng() % r[b]` (`r[b]` must be nonzero).
+    Rand,
+    /// Unfused advisory locking point: anchor `imm2`, data address
+    /// `r[a] + (r[b_or_0] + imm)*8` (`b == NO_REG` for plain accesses).
+    AlPoint,
+    /// Fused `Cmp` + `CondBr`: `r[a] = r[b] <CMP_OPS[xop]> r[c]` then
+    /// `ip = r[a] != 0 ? imm : imm2`. The compare destination is still
+    /// written (a later block may read it).
+    CmpBr,
+    /// Fused `Load` + `Cmp`: `r[a] = mem[r[b] + imm*8]` then
+    /// `r[imm2 & 0xFFFF] = r[imm2 >> 16] <CMP_OPS[xop]> r[c]`.
+    LoadCmp,
+    /// Fused `Load` + `Bin` (never `Div`/`Rem`, whose trap message needs
+    /// the second instruction's own PC): same layout as `LoadCmp`.
+    LoadBin,
+    /// Fused `AlPoint` + `Load`: ALP on anchor `imm2` at `r[b] + imm*8`,
+    /// then `r[a] = mem[r[b] + imm*8]`.
+    AlpLoad,
+    /// Fused `AlPoint` + `LoadIdx`: address `r[b] + (r[c] + imm)*8`.
+    AlpLoadIdx,
+    /// Fused `AlPoint` + `Store`: `mem[r[b] + imm*8] = r[a]`.
+    AlpStore,
+    /// Fused `AlPoint` + `StoreIdx`: `mem[r[b] + (r[c] + imm)*8] = r[a]`.
+    AlpStoreIdx,
+}
+
+/// One pre-decoded µ-op (24 bytes). Field meaning depends on [`OpCode`]
+/// (see its variant docs); `pc` is the PC of the instruction whose
+/// simulated-memory behavior this µ-op carries — for ALP fusions the
+/// anchored access, for load+use fusions the load — so `tx_load`/`tx_store`
+/// and trap messages see exactly the PCs the legacy interpreter reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UOp {
+    pub code: OpCode,
+    /// Sub-operation: `BIN_OPS`/`CMP_OPS` index, or `line_align` for
+    /// `Alloc`.
+    pub xop: u8,
+    pub a: u16,
+    pub b: u16,
+    pub c: u16,
+    pub imm: u32,
+    pub imm2: u32,
+    pub pc: Pc,
+}
+
+/// One lowered function.
+#[derive(Debug, Clone)]
+pub struct BytecodeFunc {
+    pub uops: Vec<UOp>,
+    /// Absolute µ-op index of each source block's first µ-op, indexed by
+    /// `BlockId`. Retained for the disassembler and the golden round-trip
+    /// test; the dispatch loop never consults it.
+    pub block_starts: Vec<u32>,
+    /// Entry µ-op index (`block_starts[entry block]`).
+    pub entry: u32,
+    /// Call-argument register slots, referenced by `Call` µ-ops as
+    /// `arg_pool[imm2 .. imm2 + c]`.
+    pub arg_pool: Vec<u16>,
+}
+
+/// A whole lowered module, indexed by `FuncId`.
+#[derive(Debug, Clone, Default)]
+pub struct Bytecode {
+    pub funcs: Vec<BytecodeFunc>,
+}
+
+impl Bytecode {
+    pub fn lower(funcs: &[PreparedFunc]) -> Bytecode {
+        Bytecode {
+            funcs: funcs.iter().map(lower_func).collect(),
+        }
+    }
+}
+
+fn reg(r: tm_ir::Reg) -> u16 {
+    assert!(
+        r.0 < u32::from(NO_REG),
+        "register index {} exceeds the µ-op slot width",
+        r.0
+    );
+    r.0 as u16
+}
+
+fn opt_reg(r: Option<tm_ir::Reg>) -> u16 {
+    r.map_or(NO_REG, reg)
+}
+
+/// Can `second` ride in the use-slot of a `LoadCmp`/`LoadBin` fusion after
+/// `load`? `Div`/`Rem` are excluded: their divide-by-zero trap reports the
+/// arithmetic instruction's own PC, which the fused µ-op does not carry.
+fn fusible_use(second: &Inst) -> bool {
+    match second {
+        Inst::Cmp { .. } => true,
+        Inst::Bin { op, .. } => !matches!(op, BinOp::Div | BinOp::Rem),
+        _ => false,
+    }
+}
+
+fn lower_func(f: &PreparedFunc) -> BytecodeFunc {
+    let mut uops: Vec<UOp> = Vec::new();
+    let mut arg_pool: Vec<u16> = Vec::new();
+    let mut block_starts: Vec<u32> = Vec::with_capacity(f.blocks.len());
+
+    for block in &f.blocks {
+        block_starts.push(uops.len() as u32);
+        let mut i = 0;
+        while i < block.len() {
+            let (inst, pc) = &block[i];
+            let next = block.get(i + 1);
+            if let Some(u) = try_fuse(inst, *pc, next) {
+                uops.push(u);
+                i += 2;
+            } else {
+                uops.push(lower_single(inst, *pc, &mut arg_pool));
+                i += 1;
+            }
+        }
+    }
+
+    // Patch branch targets: lowering stored raw `BlockId` indices in the
+    // target immediates; rewrite them to absolute µ-op indices.
+    for u in &mut uops {
+        match u.code {
+            OpCode::Br => u.imm = block_starts[u.imm as usize],
+            OpCode::CondBr | OpCode::CmpBr => {
+                u.imm = block_starts[u.imm as usize];
+                u.imm2 = block_starts[u.imm2 as usize];
+            }
+            _ => {}
+        }
+    }
+
+    BytecodeFunc {
+        entry: block_starts[f.entry.index()],
+        uops,
+        block_starts,
+        arg_pool,
+    }
+}
+
+/// Try to fuse `inst` (at `pc`) with its successor into one superinstruction.
+fn try_fuse(inst: &Inst, pc: Pc, next: Option<&(Inst, Pc)>) -> Option<UOp> {
+    let (next_inst, next_pc) = next?;
+    match inst {
+        // ALP + the anchor access it was inserted for. The instrumentation
+        // pass emits these back-to-back with identical operands; re-verify
+        // via `alp_covers` and fall back to the unfused pair otherwise.
+        Inst::AlPoint { anchor, .. } if inst.alp_covers(next_inst) => {
+            let (code, val) = match *next_inst {
+                Inst::Load { dst, .. } => (OpCode::AlpLoad, dst),
+                Inst::LoadIdx { dst, .. } => (OpCode::AlpLoadIdx, dst),
+                Inst::Store { src, .. } => (OpCode::AlpStore, src),
+                Inst::StoreIdx { src, .. } => (OpCode::AlpStoreIdx, src),
+                _ => unreachable!("alp_covers only accepts memory accesses"),
+            };
+            let (base, index, offset) = next_inst.mem_operands().unwrap();
+            Some(UOp {
+                code,
+                xop: 0,
+                a: reg(val),
+                b: reg(base),
+                c: opt_reg(index),
+                imm: offset,
+                imm2: *anchor,
+                pc: *next_pc,
+            })
+        }
+        // Compare + conditional branch on its result.
+        Inst::Cmp { op, dst, a, b } => match *next_inst {
+            Inst::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } if cond == *dst => Some(UOp {
+                code: OpCode::CmpBr,
+                xop: cmp_code(*op),
+                a: reg(*dst),
+                b: reg(*a),
+                c: reg(*b),
+                imm: then_b.0,
+                imm2: else_b.0,
+                pc,
+            }),
+            _ => None,
+        },
+        // Plain load + an ALU use. The use's operands are evaluated from
+        // the register file *after* the load writes its destination, so
+        // operand aliasing (use reads the loaded value, or `dst` doubles
+        // as an operand) needs no special casing.
+        Inst::Load { dst, base, offset } if fusible_use(next_inst) => {
+            let (code, xop, udst, ua, ub) = match *next_inst {
+                Inst::Cmp { op, dst, a, b } => (OpCode::LoadCmp, cmp_code(op), dst, a, b),
+                Inst::Bin { op, dst, a, b } => (OpCode::LoadBin, bin_code(op), dst, a, b),
+                _ => unreachable!("fusible_use only accepts Cmp/Bin"),
+            };
+            Some(UOp {
+                code,
+                xop,
+                a: reg(*dst),
+                b: reg(*base),
+                c: reg(ub),
+                imm: *offset,
+                imm2: u32::from(reg(udst)) | u32::from(reg(ua)) << 16,
+                pc,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn lower_single(inst: &Inst, pc: Pc, arg_pool: &mut Vec<u16>) -> UOp {
+    let mut u = UOp {
+        code: OpCode::Const,
+        xop: 0,
+        a: NO_REG,
+        b: NO_REG,
+        c: NO_REG,
+        imm: 0,
+        imm2: 0,
+        pc,
+    };
+    match inst {
+        Inst::Const { dst, value } => {
+            u.code = OpCode::Const;
+            u.a = reg(*dst);
+            u.imm = *value as u32;
+            u.imm2 = (*value >> 32) as u32;
+        }
+        Inst::Mov { dst, src } => {
+            u.code = OpCode::Mov;
+            u.a = reg(*dst);
+            u.b = reg(*src);
+        }
+        Inst::Bin { op, dst, a, b } => {
+            u.code = OpCode::Bin;
+            u.xop = bin_code(*op);
+            u.a = reg(*dst);
+            u.b = reg(*a);
+            u.c = reg(*b);
+        }
+        Inst::Cmp { op, dst, a, b } => {
+            u.code = OpCode::Cmp;
+            u.xop = cmp_code(*op);
+            u.a = reg(*dst);
+            u.b = reg(*a);
+            u.c = reg(*b);
+        }
+        Inst::Load { dst, base, offset } => {
+            u.code = OpCode::Load;
+            u.a = reg(*dst);
+            u.b = reg(*base);
+            u.imm = *offset;
+        }
+        Inst::Store { src, base, offset } => {
+            u.code = OpCode::Store;
+            u.a = reg(*src);
+            u.b = reg(*base);
+            u.imm = *offset;
+        }
+        Inst::LoadIdx {
+            dst,
+            base,
+            index,
+            offset,
+        } => {
+            u.code = OpCode::LoadIdx;
+            u.a = reg(*dst);
+            u.b = reg(*base);
+            u.c = reg(*index);
+            u.imm = *offset;
+        }
+        Inst::StoreIdx {
+            src,
+            base,
+            index,
+            offset,
+        } => {
+            u.code = OpCode::StoreIdx;
+            u.a = reg(*src);
+            u.b = reg(*base);
+            u.c = reg(*index);
+            u.imm = *offset;
+        }
+        Inst::Gep {
+            dst,
+            base,
+            index,
+            offset,
+        } => {
+            u.code = OpCode::Gep;
+            u.a = reg(*dst);
+            u.b = reg(*base);
+            u.c = reg(*index);
+            u.imm = *offset;
+        }
+        Inst::Alloc {
+            dst,
+            words,
+            line_align,
+        } => {
+            u.code = OpCode::Alloc;
+            u.xop = u8::from(*line_align);
+            u.a = reg(*dst);
+            u.b = reg(*words);
+        }
+        Inst::Call { func, args, dst } => {
+            u.code = OpCode::Call;
+            u.a = opt_reg(*dst);
+            u.c = args.len() as u16;
+            u.imm = func.0;
+            u.imm2 = arg_pool.len() as u32;
+            arg_pool.extend(args.iter().map(|&r| reg(r)));
+        }
+        Inst::Ret { val } => {
+            u.code = OpCode::Ret;
+            u.a = opt_reg(*val);
+        }
+        Inst::Br { target } => {
+            u.code = OpCode::Br;
+            u.imm = target.0; // patched to a µ-op index afterwards
+        }
+        Inst::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            u.code = OpCode::CondBr;
+            u.a = reg(*cond);
+            u.imm = then_b.0;
+            u.imm2 = else_b.0;
+        }
+        Inst::Compute { cycles } => {
+            u.code = OpCode::Compute;
+            u.imm = *cycles;
+        }
+        Inst::Rand { dst, bound } => {
+            u.code = OpCode::Rand;
+            u.a = reg(*dst);
+            u.b = reg(*bound);
+        }
+        Inst::AlPoint {
+            anchor,
+            base,
+            index,
+            offset,
+        } => {
+            u.code = OpCode::AlPoint;
+            u.a = reg(*base);
+            u.b = opt_reg(*index);
+            u.imm = *offset;
+            u.imm2 = *anchor;
+        }
+    }
+    u
+}
+
+impl BytecodeFunc {
+    /// One line per µ-op: index, PC, mnemonic and decoded operands.
+    pub fn disasm(&self) -> Vec<String> {
+        self.uops
+            .iter()
+            .enumerate()
+            .map(|(i, u)| format!("{i:04} pc={:#x} {}", u.pc, self.disasm_one(u)))
+            .collect()
+    }
+
+    fn disasm_one(&self, u: &UOp) -> String {
+        let r = |s: u16| {
+            if s == NO_REG {
+                "_".to_string()
+            } else {
+                format!("r{s}")
+            }
+        };
+        match u.code {
+            OpCode::Const => format!(
+                "const {} = {}",
+                r(u.a),
+                u64::from(u.imm2) << 32 | u64::from(u.imm)
+            ),
+            OpCode::Mov => format!("mov {} = {}", r(u.a), r(u.b)),
+            OpCode::Bin => format!(
+                "bin.{:?} {} = {}, {}",
+                BIN_OPS[u.xop as usize],
+                r(u.a),
+                r(u.b),
+                r(u.c)
+            ),
+            OpCode::Cmp => format!(
+                "cmp.{:?} {} = {}, {}",
+                CMP_OPS[u.xop as usize],
+                r(u.a),
+                r(u.b),
+                r(u.c)
+            ),
+            OpCode::Load => format!("load {} = [{} + {}]", r(u.a), r(u.b), u.imm),
+            OpCode::Store => format!("store [{} + {}] = {}", r(u.b), u.imm, r(u.a)),
+            OpCode::LoadIdx => {
+                format!("load {} = [{} + {} + {}]", r(u.a), r(u.b), r(u.c), u.imm)
+            }
+            OpCode::StoreIdx => {
+                format!("store [{} + {} + {}] = {}", r(u.b), r(u.c), u.imm, r(u.a))
+            }
+            OpCode::Gep => format!("gep {} = {} + ({} + {})*8", r(u.a), r(u.b), r(u.c), u.imm),
+            OpCode::Alloc => format!(
+                "alloc {} = {} words{}",
+                r(u.a),
+                r(u.b),
+                if u.xop != 0 { " line-aligned" } else { "" }
+            ),
+            OpCode::Call => {
+                let args: Vec<String> = self.arg_pool
+                    [u.imm2 as usize..u.imm2 as usize + u.c as usize]
+                    .iter()
+                    .map(|&s| r(s))
+                    .collect();
+                format!("call {} = @{}({})", r(u.a), u.imm, args.join(", "))
+            }
+            OpCode::Ret => format!("ret {}", r(u.a)),
+            OpCode::Br => format!("br {:04}", u.imm),
+            OpCode::CondBr => format!("condbr {} ? {:04} : {:04}", r(u.a), u.imm, u.imm2),
+            OpCode::Compute => format!("compute {}", u.imm),
+            OpCode::Rand => format!("rand {} = [0, {})", r(u.a), r(u.b)),
+            OpCode::AlPoint => format!(
+                "alp anchor={} [{} + {} + {}]",
+                u.imm2,
+                r(u.a),
+                r(u.b),
+                u.imm
+            ),
+            OpCode::CmpBr => format!(
+                "cmpbr.{:?} {} = {}, {} ? {:04} : {:04}",
+                CMP_OPS[u.xop as usize],
+                r(u.a),
+                r(u.b),
+                r(u.c),
+                u.imm,
+                u.imm2
+            ),
+            OpCode::LoadCmp | OpCode::LoadBin => {
+                let (mn, op) = if u.code == OpCode::LoadCmp {
+                    ("load+cmp", format!("{:?}", CMP_OPS[u.xop as usize]))
+                } else {
+                    ("load+bin", format!("{:?}", BIN_OPS[u.xop as usize]))
+                };
+                format!(
+                    "{mn}.{op} {} = [{} + {}]; r{} = r{}, {}",
+                    r(u.a),
+                    r(u.b),
+                    u.imm,
+                    u.imm2 & 0xFFFF,
+                    u.imm2 >> 16,
+                    r(u.c)
+                )
+            }
+            OpCode::AlpLoad | OpCode::AlpLoadIdx => format!(
+                "alp+load anchor={} {} = [{} + {} + {}]",
+                u.imm2,
+                r(u.a),
+                r(u.b),
+                r(u.c),
+                u.imm
+            ),
+            OpCode::AlpStore | OpCode::AlpStoreIdx => format!(
+                "alp+store anchor={} [{} + {} + {}] = {}",
+                u.imm2,
+                r(u.b),
+                r(u.c),
+                u.imm,
+                r(u.a)
+            ),
+        }
+    }
+
+    /// How many source instructions a µ-op at `self.uops[i]` consumed.
+    pub fn fused_width(code: OpCode) -> usize {
+        match code {
+            OpCode::CmpBr
+            | OpCode::LoadCmp
+            | OpCode::LoadBin
+            | OpCode::AlpLoad
+            | OpCode::AlpLoadIdx
+            | OpCode::AlpStore
+            | OpCode::AlpStoreIdx => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::Prepared;
+    use stagger_compiler::compile;
+    use tm_ir::{FuncBuilder, FuncKind, Module};
+
+    fn lower_one(b: FuncBuilder) -> BytecodeFunc {
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let prep = Prepared::build(&compile(&m));
+        prep.code.funcs[0].clone()
+    }
+
+    #[test]
+    fn cmp_condbr_fuses_and_targets_resolve() {
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let z = b.const_(0);
+        let c = b.cmp(tm_ir::CmpOp::Eq, p, z);
+        let (then_b, else_b) = (b.new_block(), b.new_block());
+        b.cond_br(c, then_b, else_b);
+        b.switch_to(then_b);
+        b.ret(Some(z));
+        b.switch_to(else_b);
+        b.ret(Some(p));
+        let f = lower_one(b);
+
+        let fused = f
+            .uops
+            .iter()
+            .find(|u| u.code == OpCode::CmpBr)
+            .expect("cmp+condbr fused");
+        assert_eq!(fused.code, OpCode::CmpBr);
+        assert_eq!(CMP_OPS[fused.xop as usize], tm_ir::CmpOp::Eq);
+        // Targets are absolute µ-op indices, matching block_starts.
+        assert_eq!(fused.imm, f.block_starts[then_b.index()]);
+        assert_eq!(fused.imm2, f.block_starts[else_b.index()]);
+        assert_eq!(BytecodeFunc::fused_width(fused.code), 2);
+    }
+
+    #[test]
+    fn load_use_fusion_decodes_both_halves() {
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let v = b.load(p, 3);
+        let s = b.addi(v, 1); // Const then Bin: Const blocks load+bin fusion
+        b.ret(Some(s));
+        let f = lower_one(b);
+        // addi expands to Const + Bin, so the load fuses with nothing here.
+        assert!(f.uops.iter().all(|u| u.code != OpCode::LoadBin));
+
+        // A directly adjacent Bin does fuse.
+        let mut b = FuncBuilder::new("g", 2, FuncKind::Normal);
+        let p = b.param(0);
+        let q = b.param(1);
+        let v = b.load(p, 3);
+        let s = b.bin(tm_ir::BinOp::Add, v, q);
+        b.ret(Some(s));
+        let f = lower_one(b);
+        let fused = f
+            .uops
+            .iter()
+            .find(|u| u.code == OpCode::LoadBin)
+            .expect("load+bin fused");
+        assert_eq!(fused.a, 2); // load dst
+        assert_eq!(fused.b, 0); // load base = param 0
+        assert_eq!(fused.imm, 3); // load offset
+        assert_eq!(BIN_OPS[fused.xop as usize], tm_ir::BinOp::Add);
+        assert_eq!(fused.imm2 & 0xFFFF, 3); // bin dst
+        assert_eq!(fused.imm2 >> 16, 2); // bin lhs = loaded value
+        assert_eq!(fused.c, 1); // bin rhs = param 1
+    }
+
+    #[test]
+    fn div_rem_never_fuse_after_a_load() {
+        let mut b = FuncBuilder::new("f", 2, FuncKind::Normal);
+        let p = b.param(0);
+        let q = b.param(1);
+        let v = b.load(p, 0);
+        let d = b.bin(tm_ir::BinOp::Div, v, q);
+        b.ret(Some(d));
+        let f = lower_one(b);
+        assert!(f.uops.iter().any(|u| u.code == OpCode::Load));
+        let div = f
+            .uops
+            .iter()
+            .find(|u| u.code == OpCode::Bin)
+            .expect("div stays a standalone Bin");
+        assert_eq!(BIN_OPS[div.xop as usize], tm_ir::BinOp::Div);
+    }
+
+    #[test]
+    fn disasm_lines_cover_every_uop() {
+        let mut b = FuncBuilder::new("f", 1, FuncKind::Normal);
+        let p = b.param(0);
+        let v = b.load(p, 0);
+        b.store(v, p, 1);
+        b.ret(None);
+        let f = lower_one(b);
+        let lines = f.disasm();
+        assert_eq!(lines.len(), f.uops.len());
+        for (line, u) in lines.iter().zip(&f.uops) {
+            assert!(line.contains(&format!("pc={:#x}", u.pc)), "{line}");
+        }
+    }
+}

@@ -5,8 +5,12 @@
 //! would dominate. `Prepared` pairs every instruction with its PC once,
 //! up front.
 
+use std::sync::Arc;
+
 use stagger_compiler::Compiled;
 use tm_ir::{BlockId, FuncKind, Inst, InstRef, Pc};
+
+use crate::bytecode::Bytecode;
 
 /// One basic block: instructions with their PCs.
 pub type PreparedBlock = Vec<(Inst, Pc)>;
@@ -14,7 +18,10 @@ pub type PreparedBlock = Vec<(Inst, Pc)>;
 /// One function, flattened.
 #[derive(Debug, Clone)]
 pub struct PreparedFunc {
-    pub name: String,
+    /// Shared, not cloned per preparation: sweeps re-prepare workloads per
+    /// cell, and an `Arc<str>` makes that a refcount bump instead of a
+    /// string reallocation.
+    pub name: Arc<str>,
     pub kind: FuncKind,
     pub n_params: u32,
     pub n_regs: u32,
@@ -26,15 +33,19 @@ pub struct PreparedFunc {
 #[derive(Debug, Clone)]
 pub struct Prepared {
     pub funcs: Vec<PreparedFunc>,
+    /// The same functions lowered to flat µ-op arrays (see
+    /// [`crate::bytecode`]); `funcs[i]` and `code.funcs[i]` describe the
+    /// same function, and `Interp` selects which one the executor walks.
+    pub code: Bytecode,
 }
 
 impl Prepared {
     pub fn build(compiled: &Compiled) -> Prepared {
         let m = &compiled.module;
-        let funcs = m
+        let funcs: Vec<PreparedFunc> = m
             .iter_funcs()
             .map(|(fid, f)| PreparedFunc {
-                name: f.name.clone(),
+                name: Arc::from(f.name.as_str()),
                 kind: f.kind,
                 n_params: f.n_params,
                 n_regs: f.n_regs,
@@ -58,7 +69,8 @@ impl Prepared {
                     .collect(),
             })
             .collect();
-        Prepared { funcs }
+        let code = Bytecode::lower(&funcs);
+        Prepared { funcs, code }
     }
 }
 

@@ -33,9 +33,34 @@ cargo test -q --offline
 echo "== cargo test -q --workspace"
 cargo test -q --offline --workspace
 
+echo "== interp_equivalence (bytecode vs legacy walker, quick matrix)"
+# Runs as part of the workspace suite above too; the explicit invocation
+# keeps the bit-identity gate visible in CI logs and fails fast on its own.
+cargo test -q --offline -p stagger-bench --test interp_equivalence
+
 echo "== fig7 --quick --jobs 2 --json (harness smoke)"
 mkdir -p results
 ./target/release/fig7 --quick --jobs 2 --json | tee results/ci_fig7_quick.txt
+
+echo "== fig7 --quick --jobs 1 --json (ns_per_inst regression tripwire)"
+# Interpreter-performance tripwire: the median per-run ns_per_inst of the
+# quick suite must stay within 1.25x of the recorded baseline
+# (BENCH_harness.json fig7_quick.jobs_1.median_ns_per_inst). Pinned to
+# --jobs 1: oversubscribed workers inflate per-run wall time, not the
+# interpreter. The 1.25 slack absorbs host-load noise; a genuine
+# interpreter regression (losing the u-op or permission-cache fast paths)
+# costs ~2x and trips this hard.
+NS_BASELINE=59.6
+NS_SLACK=1.25
+./target/release/fig7 --quick --jobs 1 --json >/dev/null
+NS_MEDIAN=$(grep -o '"ns_per_inst": [0-9.]*' results/BENCH_fig7.json \
+  | awk '{print $2}' | sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}')
+echo "median ns_per_inst: $NS_MEDIAN (baseline $NS_BASELINE, slack ${NS_SLACK}x)"
+awk -v m="$NS_MEDIAN" -v b="$NS_BASELINE" -v s="$NS_SLACK" \
+  'BEGIN { exit !(m <= b * s) }' || {
+    echo "ci.sh: interpreter regression: median ns_per_inst $NS_MEDIAN > $NS_BASELINE * $NS_SLACK" >&2
+    exit 1
+  }
 
 echo "== profile --quick --trace-out (observability smoke)"
 ./target/release/profile --quick --trace-out results/profile_events.jsonl \
