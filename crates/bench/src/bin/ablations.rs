@@ -60,7 +60,7 @@ fn main() {
                 })
         })
         .collect();
-    let runs = run_jobs(
+    let runs = report.pool(
         cases
             .iter()
             .map(|&(p, proto, mode)| {
@@ -71,7 +71,6 @@ fn main() {
                 }
             })
             .collect(),
-        opts.jobs,
     );
     for (case, pair) in cases.chunks(2).zip(runs.chunks(2)) {
         let (p, proto) = (case[0].0, case[0].1);
@@ -123,7 +122,7 @@ fn main() {
             )
         }));
     }
-    let runs = run_jobs(jobs, opts.jobs);
+    let runs = report.pool(jobs);
     let base_abts = runs[0].out.sim.aborts_per_commit();
     for (bits, stag) in BITS.iter().zip(&runs[1..]) {
         let cut = if base_abts > 0.0 {
@@ -149,7 +148,7 @@ fn main() {
         "timeout", "cycles", "abts/c", "timeouts"
     );
     const TIMEOUTS: [u64; 5] = [500, 2_000, 10_000, 50_000, 200_000];
-    let runs = run_jobs(
+    let runs = report.pool(
         TIMEOUTS
             .map(|timeout| {
                 let report = &report;
@@ -162,7 +161,6 @@ fn main() {
             })
             .into_iter()
             .collect(),
-        opts.jobs,
     );
     for (timeout, r) in TIMEOUTS.iter().zip(&runs) {
         println!(
@@ -188,7 +186,7 @@ fn main() {
         (p_kmeans, Mode::Htm),
         (p_kmeans, Mode::Staggered),
     ];
-    let runs = run_jobs(
+    let runs = report.pool(
         curves
             .iter()
             .flat_map(|&(p, mode)| {
@@ -198,7 +196,6 @@ fn main() {
                 })
             })
             .collect(),
-        opts.jobs,
     );
     for (&(p, mode), curve) in curves.iter().zip(runs.chunks(SCALE_THREADS.len())) {
         let t1 = &curve[0];

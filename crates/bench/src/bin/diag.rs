@@ -2,7 +2,7 @@
 //! exhibit; used to tune and debug the policy). `--hist` adds per-mode
 //! top lock-word / anchor / conflict-address histograms.
 
-use stagger_bench::{prepare_all, run_jobs, workload_set, Args, CommonOpts, Report};
+use stagger_bench::{prepare_all, workload_set, Args, CommonOpts, Report};
 use stagger_core::Mode;
 
 /// diag's option set: the common flags plus `--hist`.
@@ -35,7 +35,7 @@ fn main() {
     let set = workload_set(opts.common.quick);
     let prepared = prepare_all(&set, opts.common.jobs);
 
-    let seqs = run_jobs(
+    let seqs = report.pool(
         prepared
             .iter()
             .map(|p| {
@@ -43,9 +43,8 @@ fn main() {
                 move || report.run_sequential(p, opts.common.seed)
             })
             .collect(),
-        opts.common.jobs,
     );
-    let runs = run_jobs(
+    let runs = report.pool(
         prepared
             .iter()
             .flat_map(|p| {
@@ -55,7 +54,6 @@ fn main() {
                 })
             })
             .collect(),
-        opts.common.jobs,
     );
 
     for ((p, seq), row) in prepared.iter().zip(&seqs).zip(runs.chunks(Mode::ALL.len())) {

@@ -5,9 +5,7 @@
 //! first, then the three instrumented modes against them); rows print in
 //! workload order regardless of `--jobs`.
 
-use stagger_bench::{
-    harmonic_mean, paper, prepare_all, run_jobs, workload_set, CommonOpts, Report,
-};
+use stagger_bench::{harmonic_mean, paper, prepare_all, workload_set, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
@@ -30,7 +28,7 @@ fn main() {
 
     // Wave 1: the sequential and baseline-HTM references for every
     // workload (everything in wave 2 is normalized against these).
-    let refs = run_jobs(
+    let refs = report.pool(
         prepared
             .iter()
             .map(|p| {
@@ -43,12 +41,11 @@ fn main() {
                 }
             })
             .collect(),
-        opts.jobs,
     );
 
     // Wave 2: the three instrumented modes, one job per (workload, mode).
     const MODES: [Mode; 3] = [Mode::AddrOnly, Mode::StaggeredSw, Mode::Staggered];
-    let measured = run_jobs(
+    let measured = report.pool(
         prepared
             .iter()
             .zip(&refs)
@@ -59,7 +56,6 @@ fn main() {
                 })
             })
             .collect(),
-        opts.jobs,
     );
 
     let mut improvements = Vec::new();

@@ -2,7 +2,7 @@
 //! baseline HTM vs full Staggered Transactions, 16 threads; plus the
 //! paper's headline reductions.
 
-use stagger_bench::{paper, prepare_all, run_jobs, workload_set, CommonOpts, Report};
+use stagger_bench::{paper, prepare_all, workload_set, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     let set = workload_set(opts.quick);
     let prepared = prepare_all(&set, opts.jobs);
 
-    let seqs = run_jobs(
+    let seqs = report.pool(
         prepared
             .iter()
             .map(|p| {
@@ -31,11 +31,10 @@ fn main() {
                 move || report.run_sequential(p, opts.seed)
             })
             .collect(),
-        opts.jobs,
     );
     // One job per (workload, mode): baseline HTM and full Staggered.
     const MODES: [Mode; 2] = [Mode::Htm, Mode::Staggered];
-    let measured = run_jobs(
+    let measured = report.pool(
         prepared
             .iter()
             .zip(&seqs)
@@ -46,7 +45,6 @@ fn main() {
                 })
             })
             .collect(),
-        opts.jobs,
     );
 
     let mut abort_cuts = Vec::new();

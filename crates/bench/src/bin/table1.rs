@@ -2,7 +2,7 @@
 //! HTM at 16 threads): speedup, % irrevocable, wasted/useful ratio, and
 //! the LA/LP locality of contention addresses and PCs.
 
-use stagger_bench::{paper, prepare_all, run_jobs, workload_set, yn, CommonOpts, Report};
+use stagger_bench::{paper, prepare_all, workload_set, yn, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         .collect();
     let prepared = prepare_all(&set, opts.jobs);
 
-    let seqs = run_jobs(
+    let seqs = report.pool(
         prepared
             .iter()
             .map(|p| {
@@ -35,9 +35,8 @@ fn main() {
                 move || report.run_sequential(p, opts.seed)
             })
             .collect(),
-        opts.jobs,
     );
-    let measured = run_jobs(
+    let measured = report.pool(
         prepared
             .iter()
             .zip(&seqs)
@@ -46,7 +45,6 @@ fn main() {
                 move || report.measure(p, Mode::Htm, opts.threads, opts.seed, seq, None)
             })
             .collect(),
-        opts.jobs,
     );
 
     for r in paper::TABLE1 {

@@ -3,7 +3,7 @@
 //! committed transaction (1 thread), single-thread execution-time increase,
 //! and anchor-identification accuracy at 16 threads.
 
-use stagger_bench::{paper, prepare_all, run_jobs, workload_set, CommonOpts, Report};
+use stagger_bench::{paper, prepare_all, workload_set, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
     // Three runs per workload: uninstrumented and Staggered at 1 thread
     // (dynamic stats + execution increase), Staggered at full threads
     // (accuracy needs real contention aborts).
-    let runs = run_jobs(
+    let runs = report.pool(
         prepared
             .iter()
             .flat_map(|p| {
@@ -45,7 +45,6 @@ fn main() {
                 })
             })
             .collect(),
-        opts.jobs,
     );
 
     let mut fractions = Vec::new();

@@ -1,9 +1,7 @@
 //! Table 4 — benchmark characteristics on the baseline eager HTM at 16
 //! threads: atomic blocks, %TM, speedup, aborts/commit, contention class.
 
-use stagger_bench::{
-    contention_class, paper, prepare_all, run_jobs, workload_set, CommonOpts, Report,
-};
+use stagger_bench::{contention_class, paper, prepare_all, workload_set, CommonOpts, Report};
 use stagger_core::Mode;
 
 fn main() {
@@ -24,7 +22,7 @@ fn main() {
     let set = workload_set(opts.quick);
     let prepared = prepare_all(&set, opts.jobs);
 
-    let seqs = run_jobs(
+    let seqs = report.pool(
         prepared
             .iter()
             .map(|p| {
@@ -32,9 +30,8 @@ fn main() {
                 move || report.run_sequential(p, opts.seed)
             })
             .collect(),
-        opts.jobs,
     );
-    let measured = run_jobs(
+    let measured = report.pool(
         prepared
             .iter()
             .zip(&seqs)
@@ -43,7 +40,6 @@ fn main() {
                 move || report.measure(p, Mode::Htm, opts.threads, opts.seed, seq, None)
             })
             .collect(),
-        opts.jobs,
     );
 
     for (p, m) in prepared.iter().zip(&measured) {

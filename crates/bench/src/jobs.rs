@@ -11,10 +11,33 @@
 //! oversubscription is unnecessary: jobs are long and similar-sized). A
 //! panicking job (e.g. a workload invariant violation) propagates out of
 //! the scope, aborting the harness loudly rather than printing a partial
-//! table.
+//! table. Never more threads than jobs: a pool of 8 workers over 3 jobs
+//! spawns 3 threads.
+//!
+//! [`run_jobs_timed`] additionally reports per-worker utilization
+//! ([`WorkerUtil`]): how many jobs each worker pulled and how long it was
+//! busy — the numbers behind the `workers` section of the harness `--json`
+//! dump, for diagnosing load imbalance across a pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// What one pool worker did: pulled `jobs_run` jobs and spent `busy_secs`
+/// of host time executing them (excluding queue waits, which are ~zero for
+/// this pull-based pool).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerUtil {
+    pub jobs_run: usize,
+    pub busy_secs: f64,
+}
+
+impl WorkerUtil {
+    fn absorb(&mut self, started: Instant) {
+        self.jobs_run += 1;
+        self.busy_secs += started.elapsed().as_secs_f64();
+    }
+}
 
 /// Run `jobs` on up to `n_workers` threads; results come back in
 /// submission order. `n_workers <= 1` runs inline on the caller's thread
@@ -24,34 +47,67 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_jobs_timed(jobs, n_workers).0
+}
+
+/// [`run_jobs`] plus per-worker utilization, one [`WorkerUtil`] per worker
+/// thread actually spawned (one entry for the inline path). The pool never
+/// spawns more threads than jobs.
+pub fn run_jobs_timed<T, F>(jobs: Vec<F>, n_workers: usize) -> (Vec<T>, Vec<WorkerUtil>)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = jobs.len();
     if n_workers <= 1 || n <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
+        let mut util = WorkerUtil::default();
+        let out = jobs
+            .into_iter()
+            .map(|f| {
+                let started = Instant::now();
+                let r = f();
+                util.absorb(started);
+                r
+            })
+            .collect();
+        return (out, vec![util]);
     }
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let spawned = n_workers.min(n);
+    let utils: Vec<Mutex<WorkerUtil>> = (0..spawned)
+        .map(|_| Mutex::new(WorkerUtil::default()))
+        .collect();
     std::thread::scope(|s| {
-        for _ in 0..n_workers.min(n) {
-            s.spawn(|| loop {
+        for w in 0..spawned {
+            let utils = &utils;
+            let slots = &slots;
+            let results = &results;
+            let next = &next;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let f = slots[i].lock().unwrap().take().expect("job taken once");
+                let started = Instant::now();
                 let r = f();
+                utils[w].lock().unwrap().absorb(started);
                 *results[i].lock().unwrap() = Some(r);
             });
         }
     });
-    results
+    let out = results
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .unwrap()
                 .expect("every job ran to completion")
         })
-        .collect()
+        .collect();
+    let utils = utils.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    (out, utils)
 }
 
 #[cfg(test)]
@@ -92,5 +148,35 @@ mod tests {
         let mut tickets = out;
         tickets.sort_unstable();
         assert_eq!(tickets, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn never_more_workers_than_jobs() {
+        // 3 jobs, 16 requested workers: at most 3 utilization entries, and
+        // every job is accounted to exactly one worker.
+        let jobs: Vec<_> = (0..3u32).map(|i| move || i).collect();
+        let (out, utils) = run_jobs_timed(jobs, 16);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(utils.len(), 3);
+        assert_eq!(utils.iter().map(|u| u.jobs_run).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn inline_path_reports_one_worker() {
+        let (out, utils) = run_jobs_timed((0..5u32).map(|i| move || i).collect::<Vec<_>>(), 1);
+        assert_eq!(out.len(), 5);
+        assert_eq!(utils.len(), 1);
+        assert_eq!(utils[0].jobs_run, 5);
+        assert!(utils[0].busy_secs >= 0.0);
+    }
+
+    #[test]
+    fn utilization_accounts_every_job() {
+        for workers in [2, 4] {
+            let jobs: Vec<_> = (0..10u32).map(|i| move || i).collect();
+            let (_, utils) = run_jobs_timed(jobs, workers);
+            assert!(utils.len() <= workers);
+            assert_eq!(utils.iter().map(|u| u.jobs_run).sum::<usize>(), 10);
+        }
     }
 }

@@ -54,15 +54,19 @@ common options:
                    but results and output order stay deterministic
                    (default: available CPUs)
   --json           also dump per-run throughput to results/BENCH_<exhibit>.json
-  --scheduler S    host-side core driver: cooperative (default) or threaded;
-                   overrides the HTM_SIM_SCHEDULER environment variable
+  --scheduler S    host-side core driver: cooperative (default), threaded, or
+                   speculative (Block-STM-style optimistic parallelism across
+                   simulated cores; bit-identical results); overrides the
+                   HTM_SIM_SCHEDULER environment variable
+  --host-threads N host worker threads per speculative-scheduler run
+                   (0 = auto-detect, default; ignored by other schedulers)
   --interp I       instruction walker: bytecode (default, pre-decoded µ-ops)
                    or legacy (tree-walking reference); simulated results are
                    bit-identical either way, only host speed differs
   --help           show this message";
 
-const COMMON_USAGE_LINE: &str =
-    "[--threads N] [--quick] [--seed N] [--jobs N] [--json] [--scheduler S] [--interp I]";
+const COMMON_USAGE_LINE: &str = "[--threads N] [--quick] [--seed N] [--jobs N] [--json] \
+     [--scheduler S] [--host-threads N] [--interp I]";
 
 /// Parse a [`Mode`] by its display name, case-insensitively; `+` may be
 /// omitted ("staggeredsw" ≡ "Staggered+SW"). Thin wrapper over
@@ -172,6 +176,9 @@ pub struct CommonOpts {
     /// Host-side scheduler pin (`--scheduler`). `None` leaves the
     /// `HTM_SIM_SCHEDULER` environment variable as the fallback.
     pub scheduler: Option<Scheduler>,
+    /// Host worker threads per speculative-scheduler run
+    /// (`--host-threads`; 0 = auto-detect). Ignored by other schedulers.
+    pub host_threads: usize,
     /// Interpreter pin (`--interp`). `None` keeps the runtime default
     /// (the pre-decoded bytecode walker).
     pub interp: Option<Interp>,
@@ -186,6 +193,7 @@ impl CommonOpts {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             json: false,
             scheduler: None,
+            host_threads: 0,
             interp: None,
         }
     }
@@ -226,6 +234,7 @@ impl CommonOpts {
                             a.fail(&format!("invalid --scheduler value '{v}'"))
                         }));
                 }
+                "--host-threads" => o.host_threads = a.parsed("--host-threads"),
                 "--interp" => {
                     let v = a.value("--interp");
                     o.interp = Some(

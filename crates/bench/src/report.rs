@@ -12,16 +12,24 @@
 //!   "insts_per_sec": 3700000.0,
 //!   "runs": [ { "workload": "genome", "mode": "htm", "threads": 16,
 //!               "sim_cycles": 1, "sim_insts": 2, "gated_ops": 1,
+//!               "spec_speculated": 0, "spec_committed": 0,
+//!               "spec_mismatches": 0, "spec_rebuilds": 0,
 //!               "host_secs": 0.5, "insts_per_sec": 4.0,
-//!               "ns_per_inst": 250000000.0 }, ... ]
+//!               "ns_per_inst": 250000000.0 }, ... ],
+//!   "workers": [ { "worker": 0, "jobs_run": 3, "busy_secs": 1.2,
+//!                  "utilization": 0.58 }, ... ]
 //! }
 //! ```
 //!
 //! `gated_ops` counts the shared-memory operations admitted through the
 //! simulator's scheduler gate and `ns_per_inst` is host nanoseconds per
 //! simulated instruction — both scheduler-overhead observability, not
-//! paper metrics.
+//! paper metrics. The `spec_*` counters are the speculative scheduler's
+//! mis-speculation accounting (all zeros under the other schedulers), and
+//! `workers` reports per-worker utilization of the harness job pool
+//! (busy_secs over wall time) for runs routed through [`Report::pool`].
 
+use crate::jobs::{run_jobs_timed, WorkerUtil};
 use crate::{CommonOpts, Measured, RunSpec};
 use htm_sim::MachineConfig;
 use stagger_core::{Mode, RuntimeConfig};
@@ -40,6 +48,12 @@ pub struct RunRecord {
     pub sim_insts: u64,
     /// Shared-memory ops admitted through the scheduler gate.
     pub gated_ops: u64,
+    /// Gated ops executed optimistically by the speculative scheduler
+    /// (zero under the other schedulers), and how they fared.
+    pub spec_speculated: u64,
+    pub spec_committed: u64,
+    pub spec_mismatches: u64,
+    pub spec_rebuilds: u64,
     pub host_secs: f64,
 }
 
@@ -69,6 +83,9 @@ pub struct Report {
     opts: CommonOpts,
     started: Instant,
     records: Mutex<Vec<RunRecord>>,
+    /// Job-pool utilization, merged by worker index across every
+    /// [`Report::pool`] invocation.
+    workers: Mutex<Vec<WorkerUtil>>,
 }
 
 impl Report {
@@ -78,7 +95,30 @@ impl Report {
             opts: opts.clone(),
             started: Instant::now(),
             records: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Run `jobs` through the harness pool at this exhibit's `--jobs`
+    /// level, folding per-worker utilization into the report (the
+    /// `workers` section of the JSON dump). Results come back in
+    /// submission order, like [`crate::run_jobs`].
+    pub fn pool<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let (out, utils) = run_jobs_timed(jobs, self.opts.jobs);
+        let mut acc = self.workers.lock().unwrap();
+        if acc.len() < utils.len() {
+            acc.resize(utils.len(), WorkerUtil::default());
+        }
+        for (a, u) in acc.iter_mut().zip(&utils) {
+            a.jobs_run += u.jobs_run;
+            a.busy_secs += u.busy_secs;
+        }
+        drop(acc);
+        out
     }
 
     /// Record a finished run (the run helpers below call this for you).
@@ -90,6 +130,10 @@ impl Report {
             sim_cycles: r.cycles(),
             sim_insts: r.sim_insts(),
             gated_ops: r.gated_ops(),
+            spec_speculated: r.out.spec.speculated_ops,
+            spec_committed: r.out.spec.committed_ops,
+            spec_mismatches: r.out.spec.mismatches,
+            spec_rebuilds: r.out.spec.rebuilds,
             host_secs: r.host_secs,
         });
     }
@@ -125,6 +169,9 @@ impl Report {
             if !machine_cfg.scheduler_pinned {
                 machine_cfg = machine_cfg.scheduler(s);
             }
+        }
+        if machine_cfg.host_threads == 0 {
+            machine_cfg.host_threads = self.opts.host_threads;
         }
         let r = p.run_cfg(seed, machine_cfg, rt_cfg);
         self.record(&r);
@@ -180,6 +227,8 @@ impl Report {
             s.push_str(&format!(
                 "    {{ \"workload\": {}, \"mode\": {}, \"threads\": {}, \
                  \"sim_cycles\": {}, \"sim_insts\": {}, \"gated_ops\": {}, \
+                 \"spec_speculated\": {}, \"spec_committed\": {}, \
+                 \"spec_mismatches\": {}, \"spec_rebuilds\": {}, \
                  \"host_secs\": {:.6}, \"insts_per_sec\": {:.1}, \
                  \"ns_per_inst\": {:.2} }}{}\n",
                 json_str(r.workload),
@@ -188,10 +237,28 @@ impl Report {
                 r.sim_cycles,
                 r.sim_insts,
                 r.gated_ops,
+                r.spec_speculated,
+                r.spec_committed,
+                r.spec_mismatches,
+                r.spec_rebuilds,
                 r.host_secs,
                 r.insts_per_sec(),
                 r.ns_per_inst(),
                 if i + 1 < recs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        let workers = self.workers.lock().unwrap().clone();
+        s.push_str("  \"workers\": [\n");
+        for (i, u) in workers.iter().enumerate() {
+            let utilization = if wall > 0.0 { u.busy_secs / wall } else { 0.0 };
+            s.push_str(&format!(
+                "    {{ \"worker\": {i}, \"jobs_run\": {}, \"busy_secs\": {:.6}, \
+                 \"utilization\": {:.4} }}{}\n",
+                u.jobs_run,
+                u.busy_secs,
+                utilization,
+                if i + 1 < workers.len() { "," } else { "" },
             ));
         }
         s.push_str("  ]\n}\n");
@@ -283,6 +350,10 @@ mod tests {
             sim_cycles: 10,
             sim_insts: 20,
             gated_ops: 7,
+            spec_speculated: 6,
+            spec_committed: 5,
+            spec_mismatches: 1,
+            spec_rebuilds: 1,
             host_secs: 2.0,
         });
         rep.records.lock().unwrap().push(RunRecord {
@@ -292,6 +363,10 @@ mod tests {
             sim_cycles: 1,
             sim_insts: 2,
             gated_ops: 1,
+            spec_speculated: 0,
+            spec_committed: 0,
+            spec_mismatches: 0,
+            spec_rebuilds: 0,
             host_secs: 0.5,
         });
         let j = rep.to_json();
@@ -303,8 +378,25 @@ mod tests {
         // insts_per_sec per run: 20 / 2.0 = 10.0
         assert!(j.contains("\"insts_per_sec\": 10.0"));
         assert!(j.contains("\"gated_ops\": 7"));
+        assert!(j.contains("\"spec_speculated\": 6"));
+        assert!(j.contains("\"spec_mismatches\": 1"));
         // ns_per_inst for zeta: 2.0 s * 1e9 / 20 = 1e8
         assert!(j.contains("\"ns_per_inst\": 100000000.00"));
+        assert!(j.contains("\"workers\": ["));
+    }
+
+    #[test]
+    fn pool_folds_worker_utilization() {
+        let mut opts = CommonOpts::default_for_tests();
+        opts.jobs = 2;
+        let rep = Report::new("pool", &opts);
+        let out = rep.pool((0..6u32).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+        // A second pool merges into the same worker slots.
+        let _ = rep.pool((0..4u32).map(|i| move || i).collect::<Vec<_>>());
+        let workers = rep.workers.lock().unwrap();
+        assert!(!workers.is_empty() && workers.len() <= 2);
+        assert_eq!(workers.iter().map(|u| u.jobs_run).sum::<usize>(), 10);
     }
 
     #[test]

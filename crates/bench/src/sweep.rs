@@ -78,6 +78,9 @@ impl RunSpec {
         if let Some(sched) = opts.scheduler {
             s.machine = s.machine.scheduler(sched);
         }
+        // Host-only knob: affects host parallelism, never the simulation,
+        // and (like the scheduler) is excluded from canon()/run keys.
+        s.machine.host_threads = opts.host_threads;
         if let Some(interp) = opts.interp {
             s.runtime.interp = interp;
         }

@@ -1,10 +1,11 @@
-//! The tentpole invariant of the cooperative scheduler: for every
-//! workload, the single-threaded cooperative driver and the legacy
-//! thread-per-core driver produce *byte-identical* simulations — same
-//! per-core statistics, same execution cycles, same begin/commit/abort
-//! traces, same cycle-stamped observability event streams. The schedulers
-//! may only differ in host-side mechanics, never in what the simulated
-//! machine does.
+//! The tentpole invariant of the host-side schedulers: for every
+//! workload, the single-threaded cooperative driver, the legacy
+//! thread-per-core driver and the speculative (Block-STM-style) driver
+//! produce *byte-identical* simulations — same per-core statistics, same
+//! execution cycles, same begin/commit/abort traces, same cycle-stamped
+//! observability event streams, same thread return values. The schedulers
+//! may only differ in host-side mechanics (and host-side counters like
+//! [`htm_sim::SpecStats`]), never in what the simulated machine does.
 
 use htm_sim::{Machine, MachineConfig, ObsEvent, Scheduler};
 use stagger_bench::workload_set;
@@ -34,6 +35,14 @@ fn run_under(
     mcfg.record_events = true;
     let machine = Machine::new(mcfg);
     let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), seed);
+    if scheduler == Scheduler::Speculative {
+        let s = machine.spec_stats();
+        assert!(
+            s.rounds > 0 && s.speculated_ops > 0,
+            "{}: speculative run must actually speculate (got {s:?})",
+            p.name()
+        );
+    }
     (
         machine.stats(),
         machine.take_trace(),
@@ -42,10 +51,37 @@ fn run_under(
     )
 }
 
-/// All ten workloads (`--quick` configs), both contended modes, both
-/// schedulers: stats and traces must match exactly.
+fn assert_identical(a: &RunArtifacts, b: &RunArtifacts, name: &str, mode: Mode, other: &str) {
+    assert_eq!(
+        a.0,
+        b.0,
+        "{name} [{}]: per-core stats diverged (cooperative vs {other})",
+        mode.name()
+    );
+    assert_eq!(
+        a.1,
+        b.1,
+        "{name} [{}]: traces diverged (cooperative vs {other})",
+        mode.name()
+    );
+    assert_eq!(
+        a.2,
+        b.2,
+        "{name} [{}]: event streams diverged (cooperative vs {other})",
+        mode.name()
+    );
+    assert_eq!(
+        a.3,
+        b.3,
+        "{name} [{}]: thread return values diverged (cooperative vs {other})",
+        mode.name()
+    );
+}
+
+/// All ten workloads (`--quick` configs), both contended modes, all three
+/// schedulers: stats, traces, events and returns must match exactly.
 #[test]
-fn cooperative_and_threaded_schedulers_are_bit_identical() {
+fn all_schedulers_are_bit_identical() {
     let set = workload_set(true);
     assert_eq!(set.len(), 10);
     for w in &set {
@@ -53,34 +89,9 @@ fn cooperative_and_threaded_schedulers_are_bit_identical() {
         for mode in [Mode::Htm, Mode::Staggered] {
             let coop = run_under(&p, Scheduler::Cooperative, mode, 4, 2015);
             let thr = run_under(&p, Scheduler::Threaded, mode, 4, 2015);
-            assert_eq!(
-                coop.0,
-                thr.0,
-                "{} [{}]: per-core stats diverged across schedulers",
-                w.name(),
-                mode.name()
-            );
-            assert_eq!(
-                coop.1,
-                thr.1,
-                "{} [{}]: traces diverged across schedulers",
-                w.name(),
-                mode.name()
-            );
-            assert_eq!(
-                coop.2,
-                thr.2,
-                "{} [{}]: event streams diverged across schedulers",
-                w.name(),
-                mode.name()
-            );
-            assert_eq!(
-                coop.3,
-                thr.3,
-                "{} [{}]: thread return values diverged across schedulers",
-                w.name(),
-                mode.name()
-            );
+            assert_identical(&coop, &thr, w.name(), mode, "threaded");
+            let spec = run_under(&p, Scheduler::Speculative, mode, 4, 2015);
+            assert_identical(&coop, &spec, w.name(), mode, "speculative");
         }
     }
 }

@@ -36,7 +36,7 @@ impl HtmProtocol {
     }
 }
 
-/// Host-side driver for the simulated cores. Both schedulers realize the
+/// Host-side driver for the simulated cores. All schedulers realize the
 /// same simulated semantics — ops execute in increasing (logical clock,
 /// core id) order — so results are bit-identical; they differ only in host
 /// cost. See the `machine` module docs.
@@ -49,6 +49,13 @@ pub enum Scheduler {
     /// One OS thread per simulated core, gated by a mutex + condvars (the
     /// original driver; kept for cross-scheduler equivalence testing).
     Threaded,
+    /// Block-STM-style optimistic executor: host worker threads run each
+    /// core's next quantum of gated ops against a private overlay view of
+    /// the simulator state, and a serial commit walk re-applies the
+    /// recorded ops to the real state in strict (clock, id) order,
+    /// re-executing any core whose speculated results were invalidated by
+    /// an earlier-ordered commit. See the `spec` module docs.
+    Speculative,
 }
 
 impl Scheduler {
@@ -57,16 +64,19 @@ impl Scheduler {
         match self {
             Scheduler::Cooperative => "cooperative",
             Scheduler::Threaded => "threaded",
+            Scheduler::Speculative => "speculative",
         }
     }
 
     /// Parse a scheduler by name, case-insensitively. Accepts the same
     /// spellings as the `HTM_SIM_SCHEDULER` environment variable:
-    /// `cooperative`/`coop`/`single` and `threaded`/`threads`.
+    /// `cooperative`/`coop`/`single`, `threaded`/`threads`, and
+    /// `speculative`/`spec`.
     pub fn parse(s: &str) -> Option<Scheduler> {
         match s.to_ascii_lowercase().as_str() {
             "cooperative" | "coop" | "single" => Some(Scheduler::Cooperative),
             "threaded" | "threads" => Some(Scheduler::Threaded),
+            "speculative" | "spec" => Some(Scheduler::Speculative),
             _ => None,
         }
     }
@@ -161,6 +171,19 @@ pub struct MachineConfig {
     /// excluded from `to_kv`/`set_kv` so experiment-spec run keys never
     /// depend on it.
     pub perm_cache_lines: usize,
+    /// Host worker threads for [`Scheduler::Speculative`]; 0 (default)
+    /// resolves to the host's available parallelism at run time. Host-only
+    /// like `perm_cache_lines`: the speculative commit walk applies ops in
+    /// the same (clock, id) order at any worker count, so simulated
+    /// cycles, stats, traces and events cannot depend on it — it is
+    /// excluded from `to_kv`/`set_kv` so run keys never fork on it.
+    pub host_threads: usize,
+    /// Gated ops one speculative quantum may run before its core suspends
+    /// (the unit of optimistic execution and validation). Host-only for
+    /// the same reason as `host_threads`: quantum length changes how much
+    /// work mis-speculation wastes, never what the simulated machine
+    /// does. Clamped to at least 1 at run time.
+    pub spec_quantum: usize,
 }
 
 impl Default for MachineConfig {
@@ -191,6 +214,8 @@ impl Default for MachineConfig {
             scheduler: Scheduler::Cooperative,
             scheduler_pinned: false,
             perm_cache_lines: 32,
+            host_threads: 0,
+            spec_quantum: 64,
         }
     }
 }
@@ -254,6 +279,19 @@ impl MachineConfig {
     /// Size the per-core line-permission cache (0 disables the fast path).
     pub fn perm_cache_lines(mut self, lines: usize) -> Self {
         self.perm_cache_lines = lines;
+        self
+    }
+
+    /// Set the speculative scheduler's host worker-thread count (0 = the
+    /// host's available parallelism).
+    pub fn host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n;
+        self
+    }
+
+    /// Set the speculative scheduler's quantum length in gated ops.
+    pub fn spec_quantum(mut self, ops: usize) -> Self {
+        self.spec_quantum = ops;
         self
     }
 
@@ -333,9 +371,10 @@ impl MachineConfig {
                     .ok_or_else(|| format!("machine.scheduler: invalid value '{value}'"))?;
                 self.scheduler_pinned = true;
             }
-            // `perm_cache_lines` is intentionally not settable here: it
-            // cannot change simulated results, so it is not part of the
-            // experiment spec (accepting it would silently fork run keys).
+            // `perm_cache_lines`, `host_threads` and `spec_quantum` are
+            // intentionally not settable here: they cannot change
+            // simulated results, so they are not part of the experiment
+            // spec (accepting them would silently fork run keys).
             other => return Err(format!("machine.{other}: unknown key")),
         }
         Ok(())
@@ -410,6 +449,14 @@ mod tests {
             c.set_kv("perm_cache_lines", "64").is_err(),
             "perm_cache_lines is host-only and must not enter run keys"
         );
+        assert!(
+            c.set_kv("host_threads", "4").is_err(),
+            "host_threads is host-only and must not enter run keys"
+        );
+        assert!(
+            c.set_kv("spec_quantum", "16").is_err(),
+            "spec_quantum is host-only and must not enter run keys"
+        );
     }
 
     #[test]
@@ -422,15 +469,28 @@ mod tests {
     }
 
     #[test]
+    fn speculative_knobs_are_host_only_outside_the_spec() {
+        let c = MachineConfig::cores(2).host_threads(4).spec_quantum(16);
+        assert_eq!(c.host_threads, 4);
+        assert_eq!(c.spec_quantum, 16);
+        assert_eq!(c.to_kv(), MachineConfig::cores(2).to_kv());
+    }
+
+    #[test]
     fn protocol_and_scheduler_names_parse_back() {
         for p in [HtmProtocol::Eager, HtmProtocol::Lazy] {
             assert_eq!(HtmProtocol::parse(p.name()), Some(p));
         }
-        for s in [Scheduler::Cooperative, Scheduler::Threaded] {
+        for s in [
+            Scheduler::Cooperative,
+            Scheduler::Threaded,
+            Scheduler::Speculative,
+        ] {
             assert_eq!(Scheduler::parse(s.name()), Some(s));
         }
         assert_eq!(Scheduler::parse("coop"), Some(Scheduler::Cooperative));
         assert_eq!(Scheduler::parse("threads"), Some(Scheduler::Threaded));
+        assert_eq!(Scheduler::parse("spec"), Some(Scheduler::Speculative));
         assert_eq!(HtmProtocol::parse("none"), None);
     }
 }

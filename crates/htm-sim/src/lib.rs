@@ -43,15 +43,16 @@ pub mod fx;
 pub mod machine;
 pub mod obs;
 pub mod sim;
+pub(crate) mod spec;
 pub mod stats;
 pub mod trace;
 
 pub use addr::{line_addr, line_of, Addr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{HtmProtocol, MachineConfig, Scheduler};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use machine::{body, Core, CoreBody, CoreFn, Machine};
+pub use machine::{body, factory, Core, CoreBody, CoreFactory, CoreFn, Machine};
 pub use obs::{
     AbortBreakdown, ConflictMatrix, EventRing, ObsEvent, ObsKind, WaitHistogram, WordWaits,
 };
 pub use sim::{AbortCause, AbortInfo, TraceEvent, TraceKind, TxError};
-pub use stats::{CoreStats, SimStats};
+pub use stats::{CoreStats, SimStats, SpecStats};

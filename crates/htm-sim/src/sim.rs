@@ -42,7 +42,7 @@ pub struct AbortInfo {
 }
 
 impl AbortInfo {
-    fn simple(cause: AbortCause) -> Self {
+    pub(crate) fn simple(cause: AbortCause) -> Self {
         AbortInfo {
             cause,
             conf_addr: 0,
@@ -71,10 +71,10 @@ impl TxError {
 /// (the hardware keeps only the low 12 bits; we keep the full value and
 /// truncate on delivery, retaining ground truth).
 #[derive(Debug, Clone, Copy)]
-struct TxLine {
-    line: u64,
-    written: bool,
-    first_pc: u64,
+pub(crate) struct TxLine {
+    pub(crate) line: u64,
+    pub(crate) written: bool,
+    pub(crate) first_pc: u64,
 }
 
 /// Active-transaction state of one core.
@@ -84,20 +84,20 @@ struct TxLine {
 /// lazy write buffer live in sorted vectors probed by binary search — no
 /// hashing, no per-entry allocation, and the buffers are recycled across
 /// transactions on the same core ([`TxState::reset`]).
-#[derive(Debug, Default)]
-struct TxState {
-    ab_id: u32,
-    start_clock: u64,
+#[derive(Debug, Default, Clone)]
+pub(crate) struct TxState {
+    pub(crate) ab_id: u32,
+    pub(crate) start_clock: u64,
     /// Speculative lines touched, sorted by line index.
-    lines: Vec<TxLine>,
+    pub(crate) lines: Vec<TxLine>,
     /// Undo log: (addr, previous value), applied in reverse on abort
     /// (eager protocol only).
-    undo: Vec<(Addr, u64)>,
+    pub(crate) undo: Vec<(Addr, u64)>,
     /// Private write buffer, sorted by address, published at commit (lazy
     /// protocol only).
-    write_buffer: Vec<(Addr, u64)>,
+    pub(crate) write_buffer: Vec<(Addr, u64)>,
     /// Lines already rolled back by a remote requester.
-    rolled_back: bool,
+    pub(crate) rolled_back: bool,
     /// Line-permission cache: a direct-mapped table over lines whose
     /// read (`perm_write[i] == false` suffices) or write ownership bits
     /// this attempt has already set, letting repeat accesses skip the
@@ -107,15 +107,15 @@ struct TxState {
     /// access — so a non-doomed attempt's cached permissions are always
     /// current. `u64::MAX` marks an empty slot; cleared by `reset` (every
     /// attempt starts cold) and defensively on `doom`.
-    perm_lines: Vec<u64>,
+    pub(crate) perm_lines: Vec<u64>,
     /// Write-permission bit per `perm_lines` slot.
-    perm_write: Vec<bool>,
+    pub(crate) perm_write: Vec<bool>,
 }
 
 impl TxState {
     /// Clear for reuse by a fresh transaction, keeping the allocations.
     /// `perm_slots` is the (power-of-two or zero) permission-cache size.
-    fn reset(&mut self, ab_id: u32, start_clock: u64, perm_slots: usize) {
+    pub(crate) fn reset(&mut self, ab_id: u32, start_clock: u64, perm_slots: usize) {
         self.ab_id = ab_id;
         self.start_clock = start_clock;
         self.lines.clear();
@@ -134,7 +134,7 @@ impl TxState {
     /// Does this attempt hold a cached permission for `line` (write
     /// permission if `write`)?
     #[inline]
-    fn perm_has(&self, line: u64, write: bool) -> bool {
+    pub(crate) fn perm_has(&self, line: u64, write: bool) -> bool {
         if self.perm_lines.is_empty() {
             return false;
         }
@@ -145,7 +145,7 @@ impl TxState {
     /// Cache a granted permission (upgrades read → write in place; a
     /// colliding line simply evicts the previous occupant).
     #[inline]
-    fn perm_insert(&mut self, line: u64, write: bool) {
+    pub(crate) fn perm_insert(&mut self, line: u64, write: bool) {
         if self.perm_lines.is_empty() {
             return;
         }
@@ -158,7 +158,7 @@ impl TxState {
         }
     }
 
-    fn perm_clear(&mut self) {
+    pub(crate) fn perm_clear(&mut self) {
         self.perm_lines.fill(u64::MAX);
         self.perm_write.fill(false);
     }
@@ -167,13 +167,13 @@ impl TxState {
         self.lines.binary_search_by_key(&line, |e| e.line)
     }
 
-    fn spec_contains(&self, line: u64) -> bool {
+    pub(crate) fn spec_contains(&self, line: u64) -> bool {
         self.find(line).is_ok()
     }
 
     /// Record a speculative touch of `line`; `first_pc` is set only by the
     /// first access, matching the hardware's first-toucher PC tag.
-    fn touch_line(&mut self, line: u64, pc: u64, write: bool) {
+    pub(crate) fn touch_line(&mut self, line: u64, pc: u64, write: bool) {
         match self.find(line) {
             Ok(i) => self.lines[i].written |= write,
             Err(i) => self.lines.insert(
@@ -188,12 +188,12 @@ impl TxState {
     }
 
     /// Full first-access PC of `line` (0 when the line was never touched).
-    fn first_pc_of(&self, line: u64) -> u64 {
+    pub(crate) fn first_pc_of(&self, line: u64) -> u64 {
         self.find(line).map_or(0, |i| self.lines[i].first_pc)
     }
 
     /// The lazily-buffered value of `addr`, if this transaction wrote it.
-    fn buffered(&self, addr: Addr) -> Option<u64> {
+    pub(crate) fn buffered(&self, addr: Addr) -> Option<u64> {
         self.write_buffer
             .binary_search_by_key(&addr, |e| e.0)
             .ok()
@@ -201,7 +201,7 @@ impl TxState {
     }
 
     /// Insert-or-update a lazily-buffered store.
-    fn buffer_store(&mut self, addr: Addr, val: u64) {
+    pub(crate) fn buffer_store(&mut self, addr: Addr, val: u64) {
         match self.write_buffer.binary_search_by_key(&addr, |e| e.0) {
             Ok(i) => self.write_buffer[i].1 = val,
             Err(i) => self.write_buffer.insert(i, (addr, val)),
@@ -229,10 +229,10 @@ pub enum TraceKind {
 /// doomed it — the requester core and the 12-bit tag of the requesting
 /// access's PC (0 for nontransactional requesters).
 #[derive(Debug, Clone, Copy)]
-struct Doomed {
-    info: AbortInfo,
-    aborter: u32,
-    aborter_pc_tag: u16,
+pub(crate) struct Doomed {
+    pub(crate) info: AbortInfo,
+    pub(crate) aborter: u32,
+    pub(crate) aborter_pc_tag: u16,
 }
 
 /// Per-core simulator state.
@@ -240,16 +240,16 @@ pub(crate) struct CoreState {
     pub clock: u64,
     pub finished: bool,
     pub waiting: bool,
-    l1: CacheArray,
-    l2: CacheArray,
-    tx: Option<TxState>,
+    pub(crate) l1: CacheArray,
+    pub(crate) l2: CacheArray,
+    pub(crate) tx: Option<TxState>,
     /// Recycled transaction state: buffers from the last finished
     /// transaction, reused by the next `tx_begin` to avoid reallocation.
-    spare_tx: Option<TxState>,
-    doomed: Option<Doomed>,
+    pub(crate) spare_tx: Option<TxState>,
+    pub(crate) doomed: Option<Doomed>,
     pub stats: CoreStats,
-    arena_next: Addr,
-    arena_end: Addr,
+    pub(crate) arena_next: Addr,
+    pub(crate) arena_end: Addr,
     pub trace: Vec<TraceEvent>,
     pub events: EventRing,
 }
@@ -258,9 +258,9 @@ pub(crate) struct CoreState {
 /// protocol at most one writer exists at a time; under the lazy protocol
 /// multiple buffered writers may coexist until one commits.
 #[derive(Debug, Default, Clone, Copy)]
-struct Owners {
-    readers: u32,
-    writers: u32,
+pub(crate) struct Owners {
+    pub(crate) readers: u32,
+    pub(crate) writers: u32,
 }
 
 impl Owners {
@@ -273,18 +273,18 @@ impl Owners {
 /// Everything under the machine mutex.
 pub(crate) struct SimState {
     pub cfg: MachineConfig,
-    mem: Vec<u64>,
-    l3: CacheArray,
+    pub(crate) mem: Vec<u64>,
+    pub(crate) l3: CacheArray,
     pub cores: Vec<CoreState>,
     /// Speculative-ownership directory, indexed densely by line index
     /// (`addr / LINE_BYTES`). One entry per line of simulated memory: the
     /// conflict check on every transactional access is two array words,
     /// not a hash probe.
-    owners: Vec<Owners>,
-    heap_next: Addr,
+    pub(crate) owners: Vec<Owners>,
+    pub(crate) heap_next: Addr,
     /// Derived from `cfg.perm_cache_lines`: direct-mapped permission-cache
     /// slot count (rounded up to a power of two; 0 = fast path disabled).
-    perm_slots: usize,
+    pub(crate) perm_slots: usize,
     /// Cooperative-driver gate horizon: the minimum `(clock, id)` over
     /// unfinished cores *other than* the one currently resumed (set by
     /// [`SimState::schedule`]). While that core runs, no other core's
@@ -994,12 +994,171 @@ impl SimState {
     }
 }
 
+// ----- gated-operation descriptors --------------------------------------
+
+/// A gated shared-state operation, reified so it can be (a) executed
+/// directly by the cooperative/threaded gate, (b) executed against a
+/// speculative overlay by the [`crate::spec`] scheduler, and (c) re-executed
+/// against the real state by that scheduler's serial commit walk. Having one
+/// descriptor per operation guarantees all three paths run *the same* op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    Begin { ab_id: u32 },
+    Load { addr: Addr, pc: u64 },
+    Store { addr: Addr, val: u64, pc: u64 },
+    Commit,
+    Abort,
+    NtLoad { addr: Addr },
+    PlainLoad { addr: Addr },
+    NtStore { addr: Addr, val: u64 },
+    NtCas { addr: Addr, old: u64, new: u64 },
+    Alloc { words: u64, line_align: bool },
+    LockWait { cycles: u64 },
+    Backoff { cycles: u64 },
+    Irrevocable { cycles: u64 },
+}
+
+/// Result of a gated operation — comparable, so the speculative scheduler
+/// can validate a predicted result against the authoritative re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpResult {
+    Unit,
+    Val(u64),
+    Flag(bool),
+    TxUnit(Result<(), TxError>),
+    TxVal(Result<u64, TxError>),
+    TxErr(TxError),
+}
+
+/// Execute `op` for `tid` against the real simulator state, returning the
+/// result and its latency. This is the single dispatch point used by every
+/// scheduler's gate (and by the speculative commit walk), excluding only the
+/// clock fold / `gated_ops` bookkeeping that the callers replicate.
+pub(crate) fn apply_op(st: &mut SimState, tid: usize, op: &Op) -> (OpResult, u64) {
+    match *op {
+        Op::Begin { ab_id } => {
+            let lat = st.tx_begin(tid, ab_id);
+            (OpResult::Unit, lat)
+        }
+        Op::Load { addr, pc } => {
+            let (r, lat) = st.tx_load(tid, addr, pc);
+            (OpResult::TxVal(r), lat)
+        }
+        Op::Store { addr, val, pc } => {
+            let (r, lat) = st.tx_store(tid, addr, val, pc);
+            (OpResult::TxUnit(r), lat)
+        }
+        Op::Commit => {
+            let (r, lat) = st.tx_commit(tid);
+            (OpResult::TxUnit(r), lat)
+        }
+        Op::Abort => (OpResult::TxErr(st.self_abort(tid, AbortCause::Explicit)), 0),
+        Op::NtLoad { addr } => {
+            let (v, lat) = st.nt_load(tid, addr);
+            (OpResult::Val(v), lat)
+        }
+        Op::PlainLoad { addr } => {
+            let (v, lat) = st.plain_load(tid, addr);
+            (OpResult::Val(v), lat)
+        }
+        Op::NtStore { addr, val } => {
+            let lat = st.nt_store(tid, addr, val);
+            (OpResult::Unit, lat)
+        }
+        Op::NtCas { addr, old, new } => {
+            let (ok, lat) = st.nt_cas(tid, addr, old, new);
+            (OpResult::Flag(ok), lat)
+        }
+        Op::Alloc { words, line_align } => {
+            let (a, lat) = st.alloc(tid, words, line_align);
+            (OpResult::Val(a), lat)
+        }
+        Op::LockWait { cycles } => {
+            st.cores[tid].stats.lock_wait_cycles += cycles;
+            (OpResult::Unit, 0)
+        }
+        Op::Backoff { cycles } => {
+            st.cores[tid].stats.backoff_cycles += cycles;
+            (OpResult::Unit, 0)
+        }
+        Op::Irrevocable { cycles } => {
+            st.cores[tid].stats.irrevocable_cycles += cycles;
+            st.cores[tid].stats.irrevocable_commits += 1;
+            (OpResult::Unit, 0)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn state(n: usize) -> SimState {
         SimState::new(MachineConfig::cores(n).small())
+    }
+
+    #[test]
+    fn schedule_picks_min_and_caches_runner_up() {
+        let mut s = state(3);
+        s.cores[0].clock = 50;
+        s.cores[1].clock = 10;
+        s.cores[2].clock = 30;
+        assert_eq!(s.schedule(), Some(1));
+        assert_eq!(s.horizon, (30, 2), "runner-up becomes the horizon");
+    }
+
+    #[test]
+    fn schedule_skips_retired_cores() {
+        // Core retirement: a finished core must neither run nor act as the
+        // horizon, even when its clock is the global minimum.
+        let mut s = state(3);
+        s.cores[0].clock = 5;
+        s.cores[0].finished = true;
+        s.cores[1].clock = 40;
+        s.cores[2].clock = 20;
+        assert_eq!(s.schedule(), Some(2));
+        assert_eq!(s.horizon, (40, 1));
+        assert_eq!(s.next_eligible(), Some(2));
+    }
+
+    #[test]
+    fn schedule_breaks_clock_ties_by_id_even_at_max() {
+        // Saturated clocks: ties at u64::MAX must still order by core id,
+        // and the horizon pair must remain strictly comparable.
+        let mut s = state(3);
+        for c in s.cores.iter_mut() {
+            c.clock = u64::MAX;
+        }
+        assert_eq!(s.schedule(), Some(0));
+        assert_eq!(s.horizon, (u64::MAX, 1));
+        // The chosen core stays eligible: its key equals neither horizon
+        // component's successor — (MAX, 0) <= (MAX, 1).
+        assert!((s.cores[0].clock, 0) <= s.horizon);
+    }
+
+    #[test]
+    fn schedule_single_live_core_gets_open_horizon() {
+        // Single-live-core fast path: with no runner-up the horizon must be
+        // the +infinity sentinel so the survivor's gates never suspend.
+        let mut s = state(2);
+        s.cores[1].finished = true;
+        s.cores[0].clock = 123;
+        assert_eq!(s.schedule(), Some(0));
+        assert_eq!(s.horizon, (u64::MAX, usize::MAX));
+        // Even a clock at the sentinel value stays eligible by id ordering.
+        s.cores[0].clock = u64::MAX;
+        assert_eq!(s.schedule(), Some(0));
+        assert!((s.cores[0].clock, 0) <= s.horizon);
+    }
+
+    #[test]
+    fn schedule_all_finished_is_none() {
+        let mut s = state(2);
+        s.cores[0].finished = true;
+        s.cores[1].finished = true;
+        assert_eq!(s.schedule(), None);
+        assert_eq!(s.next_eligible(), None);
+        assert_eq!(s.horizon, (u64::MAX, usize::MAX));
     }
 
     #[test]

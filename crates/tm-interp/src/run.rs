@@ -3,7 +3,7 @@
 
 use crate::exec::{ExecStats, Executor};
 use crate::prepared::Prepared;
-use htm_sim::{Machine, SimStats};
+use htm_sim::{Machine, SimStats, SpecStats};
 use stagger_compiler::Compiled;
 use stagger_core::{RtStats, RuntimeConfig, SharedRt};
 use std::sync::Arc;
@@ -29,6 +29,10 @@ pub struct RunOutcome {
     pub exec: ExecStats,
     /// Per-thread return values of the entry functions.
     pub returns: Vec<u64>,
+    /// Host-side speculative-scheduler counters (all zeros unless the
+    /// machine ran under `Scheduler::Speculative`). Never affects any
+    /// simulated quantity.
+    pub spec: SpecStats,
 }
 
 impl RunOutcome {
@@ -76,7 +80,12 @@ pub fn run_workload_prepared(
     let results: Mutex<Vec<Option<(RtStats, ExecStats, u64)>>> =
         Mutex::new(vec![None; plans.len()]);
 
-    let bodies: Vec<_> = plans
+    // Factories, not one-shot bodies: the speculative scheduler re-invokes
+    // a core's factory to re-execute it after a mis-speculation, so each
+    // call must build a fresh, deterministic program (all inputs cloned
+    // inside). A re-execution overwrites its `results` slot; the last
+    // write always comes from the committed execution.
+    let factories: Vec<_> = plans
         .iter()
         .enumerate()
         .map(|(tid, plan)| {
@@ -84,23 +93,28 @@ pub fn run_workload_prepared(
             let results = &results;
             let rt_cfg = rt_cfg.clone();
             let plan = plan.clone();
-            htm_sim::body(move |mut core| async move {
-                let mut exec = Executor::new(
-                    compiled,
-                    prepared,
-                    rt_cfg,
-                    shared,
-                    tid,
-                    base_seed + tid as u64,
-                );
-                let ret = exec.call(&mut core, plan.func, &plan.args).await;
-                results.lock().unwrap()[tid] =
-                    Some((exec.rt.stats.clone(), exec.stats.clone(), ret));
+            htm_sim::factory(move |mut core| {
+                let prepared = prepared.clone();
+                let rt_cfg = rt_cfg.clone();
+                let plan = plan.clone();
+                async move {
+                    let mut exec = Executor::new(
+                        compiled,
+                        prepared,
+                        rt_cfg,
+                        shared,
+                        tid,
+                        base_seed + tid as u64,
+                    );
+                    let ret = exec.call(&mut core, plan.func, &plan.args).await;
+                    results.lock().unwrap()[tid] =
+                        Some((exec.rt.stats.clone(), exec.stats.clone(), ret));
+                }
             })
         })
         .collect();
 
-    machine.run(bodies);
+    machine.run_factories(factories);
 
     let mut rt = RtStats::default();
     let mut exec = ExecStats::default();
@@ -117,6 +131,7 @@ pub fn run_workload_prepared(
         rt,
         exec,
         returns,
+        spec: machine.spec_stats(),
     }
 }
 

@@ -4,8 +4,9 @@
 #   scripts/ci.sh
 #
 # Steps: format check, release build (workspace root + exhibit binaries),
-# tier-1 tests, workspace tests, a parallel-harness smoke run of
-# fig7 --quick whose output (including the machine-readable
+# tier-1 tests, workspace tests, a speculative-vs-cooperative scheduler
+# byte-identity gate (plus a --host-threads 1 smoke), a parallel-harness
+# smoke run of fig7 --quick whose output (including the machine-readable
 # results/BENCH_fig7.json) is recorded under results/, and a profile
 # --quick smoke run whose text report and JSONL event dump are recorded
 # and sanity-checked.
@@ -37,6 +38,25 @@ echo "== interp_equivalence (bytecode vs legacy walker, quick matrix)"
 # Runs as part of the workspace suite above too; the explicit invocation
 # keeps the bit-identity gate visible in CI logs and fails fast on its own.
 cargo test -q --offline -p stagger-bench --test interp_equivalence
+
+echo "== scheduler byte-identity gate (speculative vs cooperative)"
+# The speculative (Block-STM-style) core driver must be invisible: the
+# full quick exhibit, minus the host-timing self-report lines, must match
+# the cooperative driver byte for byte. Also covered at the artifact
+# level by scheduler_equivalence and spec_stress; this gates the CLI path
+# (flag parsing, config plumbing, report integration) end to end.
+mkdir -p results
+./target/release/fig7 --quick --scheduler cooperative \
+  | grep -v '^harness:' > results/ci_fig7_coop.txt
+./target/release/fig7 --quick --scheduler speculative --host-threads 2 \
+  | grep -v '^harness:' > results/ci_fig7_spec.txt
+cmp results/ci_fig7_coop.txt results/ci_fig7_spec.txt
+
+echo "== --host-threads 1 smoke (speculative on a single-core host)"
+# Degenerate worker count must still work (serial speculation) and still
+# be byte-identical.
+./target/release/fig7 --quick --scheduler speculative --host-threads 1 \
+  | grep -v '^harness:' | cmp - results/ci_fig7_coop.txt
 
 echo "== fig7 --quick --jobs 2 --json (harness smoke)"
 mkdir -p results
