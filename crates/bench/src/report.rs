@@ -14,6 +14,7 @@
 //!               "sim_cycles": 1, "sim_insts": 2, "gated_ops": 1,
 //!               "spec_speculated": 0, "spec_committed": 0,
 //!               "spec_mismatches": 0, "spec_rebuilds": 0,
+//!               "sched_calls": 9, "sched_stale": 3,
 //!               "host_secs": 0.5, "insts_per_sec": 4.0,
 //!               "ns_per_inst": 250000000.0 }, ... ],
 //!   "workers": [ { "worker": 0, "jobs_run": 3, "busy_secs": 1.2,
@@ -54,6 +55,10 @@ pub struct RunRecord {
     pub spec_committed: u64,
     pub spec_mismatches: u64,
     pub spec_rebuilds: u64,
+    /// Indexed-scheduler overhead: `schedule()` calls and lazy heap
+    /// repairs (host-side observability, not simulated quantities).
+    pub sched_calls: u64,
+    pub sched_stale: u64,
     pub host_secs: f64,
 }
 
@@ -134,6 +139,8 @@ impl Report {
             spec_committed: r.out.spec.committed_ops,
             spec_mismatches: r.out.spec.mismatches,
             spec_rebuilds: r.out.spec.rebuilds,
+            sched_calls: r.out.sched.schedule_calls,
+            sched_stale: r.out.sched.stale_refreshes,
             host_secs: r.host_secs,
         });
     }
@@ -229,6 +236,7 @@ impl Report {
                  \"sim_cycles\": {}, \"sim_insts\": {}, \"gated_ops\": {}, \
                  \"spec_speculated\": {}, \"spec_committed\": {}, \
                  \"spec_mismatches\": {}, \"spec_rebuilds\": {}, \
+                 \"sched_calls\": {}, \"sched_stale\": {}, \
                  \"host_secs\": {:.6}, \"insts_per_sec\": {:.1}, \
                  \"ns_per_inst\": {:.2} }}{}\n",
                 json_str(r.workload),
@@ -241,6 +249,8 @@ impl Report {
                 r.spec_committed,
                 r.spec_mismatches,
                 r.spec_rebuilds,
+                r.sched_calls,
+                r.sched_stale,
                 r.host_secs,
                 r.insts_per_sec(),
                 r.ns_per_inst(),
@@ -354,6 +364,8 @@ mod tests {
             spec_committed: 5,
             spec_mismatches: 1,
             spec_rebuilds: 1,
+            sched_calls: 9,
+            sched_stale: 3,
             host_secs: 2.0,
         });
         rep.records.lock().unwrap().push(RunRecord {
@@ -367,6 +379,8 @@ mod tests {
             spec_committed: 0,
             spec_mismatches: 0,
             spec_rebuilds: 0,
+            sched_calls: 0,
+            sched_stale: 0,
             host_secs: 0.5,
         });
         let j = rep.to_json();
@@ -380,6 +394,8 @@ mod tests {
         assert!(j.contains("\"gated_ops\": 7"));
         assert!(j.contains("\"spec_speculated\": 6"));
         assert!(j.contains("\"spec_mismatches\": 1"));
+        assert!(j.contains("\"sched_calls\": 9"));
+        assert!(j.contains("\"sched_stale\": 3"));
         // ns_per_inst for zeta: 2.0 s * 1e9 / 20 = 1e8
         assert!(j.contains("\"ns_per_inst\": 100000000.00"));
         assert!(j.contains("\"workers\": ["));

@@ -749,7 +749,7 @@ fn json_str(s: &str) -> String {
 
 /// Names of the built-in sweeps, in presentation order.
 pub fn builtin_sweep_names() -> &'static [&'static str] {
-    &["pc-tags", "lock-tuning"]
+    &["pc-tags", "lock-tuning", "scaling"]
 }
 
 /// The built-in sweeps behind the paper's two headline sensitivity
@@ -762,6 +762,10 @@ pub fn builtin_sweep_names() -> &'static [&'static str] {
 /// * `lock-tuning` — advisory-lock acquire timeout × Polite backoff base
 ///   (`runtime.lock_timeout` × `runtime.backoff_base`) on `list-hi`, the
 ///   liveness/serialization trade-off of Section 2.
+/// * `scaling` — core count (`threads` ∈ {16, 32, 64, 128, 256}) × mode
+///   on the two high-contention workloads: how contention metrics evolve
+///   past the old 32-core ownership-mask boundary (the `scaling` binary
+///   reports the host-side scheduler economics of the same grid).
 pub fn builtin_sweep(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
     match name {
         "pc-tags" => Some(SweepSpec {
@@ -790,6 +794,15 @@ pub fn builtin_sweep(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
                 ],
             })
         }
+        "scaling" => Some(SweepSpec {
+            name: "scaling".to_string(),
+            base: RunSpec::from_opts(opts, "list-hi", Mode::Htm),
+            axes: vec![
+                Axis::new("workload", &["list-hi", "memcached"]),
+                Axis::new("mode", &["HTM", "Staggered"]),
+                Axis::new("threads", &["16", "32", "64", "128", "256"]),
+            ],
+        }),
         _ => None,
     }
 }
@@ -923,6 +936,13 @@ mod tests {
                 .len(),
             5 * 3
         );
+        let scaling = builtin_sweep("scaling", &opts).unwrap();
+        let cells = scaling.cells().unwrap();
+        assert_eq!(cells.len(), 2 * 2 * 5);
+        // The ladder rides the top-level `threads` field, so every cell
+        // names a legal core count (1..=MAX_CORES is builder-checked).
+        assert!(cells.iter().all(|c| c.spec.threads <= htm_sim::MAX_CORES));
+        assert_eq!(cells.last().unwrap().spec.threads, 256);
         assert!(builtin_sweep("nope", &opts).is_none());
     }
 }

@@ -95,3 +95,23 @@ fn all_schedulers_are_bit_identical() {
         }
     }
 }
+
+/// The same identity past the old 32-core ownership-mask boundary: the two
+/// `scaling`-exhibit workloads at 64 cores, both modes, all three
+/// schedulers. Kept to two workloads so the suite stays bounded.
+#[test]
+fn schedulers_are_bit_identical_at_64_cores() {
+    for w in workload_set(true) {
+        if w.name() != "list-hi" && w.name() != "memcached" {
+            continue;
+        }
+        let p = PreparedWorkload::new(w.as_ref());
+        for mode in [Mode::Htm, Mode::Staggered] {
+            let coop = run_under(&p, Scheduler::Cooperative, mode, 64, 2015);
+            let thr = run_under(&p, Scheduler::Threaded, mode, 64, 2015);
+            assert_identical(&coop, &thr, w.name(), mode, "threaded@64");
+            let spec = run_under(&p, Scheduler::Speculative, mode, 64, 2015);
+            assert_identical(&coop, &spec, w.name(), mode, "speculative@64");
+        }
+    }
+}

@@ -224,7 +224,17 @@ impl MachineConfig {
     /// Entry point of the fluent builder: a config with `n` cores and
     /// defaults otherwise. Chain the builder methods to deviate from
     /// Table 2, e.g. `MachineConfig::cores(4).small().lazy()`.
+    ///
+    /// Panics when `n` is outside `1..=`[`crate::coreset::MAX_CORES`] —
+    /// the ownership directory's [`crate::coreset::CoreSet`] capacity —
+    /// so an unsupported core count fails loudly at construction time
+    /// instead of corrupting conflict detection later.
     pub fn cores(n: usize) -> Self {
+        assert!(
+            (1..=crate::coreset::MAX_CORES).contains(&n),
+            "n_cores must be in 1..={}, got {n}",
+            crate::coreset::MAX_CORES
+        );
         MachineConfig {
             n_cores: n,
             ..Default::default()
@@ -397,6 +407,29 @@ mod tests {
         assert_eq!(c.l3_sets * c.l3_ways * 64, 8 * 1024 * 1024); // 8 MB L3
         assert_eq!(c.pc_tag_bits, 12);
         assert_eq!(c.pc_tag_mask(), 0xFFF);
+    }
+
+    #[test]
+    fn cores_past_the_old_u32_boundary_are_accepted() {
+        // 33 cores used to overflow the u32 ownership masks; with CoreSet
+        // the builder accepts everything up to MAX_CORES.
+        assert_eq!(MachineConfig::cores(33).n_cores, 33);
+        assert_eq!(
+            MachineConfig::cores(crate::coreset::MAX_CORES).n_cores,
+            crate::coreset::MAX_CORES
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_cores")]
+    fn cores_above_max_are_rejected_at_construction() {
+        let _ = MachineConfig::cores(crate::coreset::MAX_CORES + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_cores")]
+    fn zero_cores_are_rejected_at_construction() {
+        let _ = MachineConfig::cores(0);
     }
 
     #[test]

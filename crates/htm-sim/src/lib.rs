@@ -39,9 +39,11 @@
 pub mod addr;
 pub mod cache;
 pub mod config;
+pub mod coreset;
 pub mod fx;
 pub mod machine;
 pub mod obs;
+pub mod sched;
 pub mod sim;
 pub(crate) mod spec;
 pub mod stats;
@@ -49,10 +51,12 @@ pub mod trace;
 
 pub use addr::{line_addr, line_of, Addr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{HtmProtocol, MachineConfig, Scheduler};
+pub use coreset::MAX_CORES;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use machine::{body, factory, Core, CoreBody, CoreFactory, CoreFn, Machine};
 pub use obs::{
     AbortBreakdown, ConflictMatrix, EventRing, ObsEvent, ObsKind, WaitHistogram, WordWaits,
 };
+pub use sched::SchedStats;
 pub use sim::{AbortCause, AbortInfo, TraceEvent, TraceKind, TxError};
 pub use stats::{CoreStats, SimStats, SpecStats};

@@ -312,6 +312,9 @@ impl Machine {
         let lock_fut = |tid: usize| futs[tid].lock().unwrap_or_else(|e| e.into_inner());
         let mut ctl: Vec<TaskCtl> = (0..n).map(|_| TaskCtl::default()).collect();
         let mut sstats = SpecStats::default();
+        // Indexed min-(clock, id) structure for the commit walk; reseeded
+        // at each walk entry, reusing the allocation across rounds.
+        let mut walk_heap = crate::sched::LazyMinHeap::default();
         let mut cx = Context::from_waker(Waker::noop());
 
         loop {
@@ -454,7 +457,7 @@ impl Machine {
             // ---- Phase 3: serial validate-and-commit walk ----------------
             let mut st = self.shared.lock();
             loop {
-                match commit_walk(&mut st, &slots, &mut ctl, &mut sstats) {
+                match commit_walk(&mut st, &slots, &mut ctl, &mut sstats, &mut walk_heap) {
                     WalkStep::RoundDone => break,
                     WalkStep::Direct(tid) => {
                         // It is globally this direct core's turn: admit one
@@ -543,6 +546,15 @@ impl Machine {
     /// simulated quantities.
     pub fn spec_stats(&self) -> SpecStats {
         *self.shared.spec.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Host-side scheduling-overhead counters: cooperative `schedule()`
+    /// calls and lazy-heap stale-entry repairs. Like [`Machine::spec_stats`]
+    /// these never feed back into simulated quantities (and are therefore
+    /// not part of [`Machine::stats`], which cross-scheduler equivalence
+    /// tests compare for equality).
+    pub fn sched_stats(&self) -> crate::sched::SchedStats {
+        self.shared.lock().sched_stats
     }
 
     /// Move out the per-core begin/commit/abort event traces (empty unless
@@ -979,14 +991,14 @@ impl Drop for Core<'_> {
     fn drop(&mut self) {
         let tid = self.tid;
         if let Drive::Spec(slot) = &self.drive {
-            if !matches!(slot.lock().mode, SpecMode::Direct) {
+            if slot.finish(self.pending) {
                 // Queued as a Finish record (or dropped, for a poisoned or
                 // mid-replay teardown); the commit walk retires the core.
-                slot.finish(self.pending);
                 self.pending = 0;
                 return;
             }
-            // Direct cores retire against real state, with nobody to wake.
+            // Direct cores (including one demoted by this very finish)
+            // retire against real state, with nobody to wake.
             let mut st = self.shared.lock();
             st.cores[tid].clock += self.pending;
             self.pending = 0;

@@ -9,7 +9,9 @@ use crate::addr::WORDS_PER_LINE;
 use crate::addr::{line_of, word_index, Addr, LINE_BYTES, WORD_BYTES};
 use crate::cache::CacheArray;
 use crate::config::{HtmProtocol, MachineConfig};
+use crate::coreset::{CoreSet, MAX_CORES};
 use crate::obs::{EventRing, ObsEvent, ObsKind};
+use crate::sched::{LazyMinHeap, SchedStats};
 use crate::stats::CoreStats;
 
 /// Why a transaction aborted.
@@ -256,17 +258,18 @@ pub(crate) struct CoreState {
 
 /// Speculative ownership of one line across cores. Under the eager
 /// protocol at most one writer exists at a time; under the lazy protocol
-/// multiple buffered writers may coexist until one commits.
+/// multiple buffered writers may coexist until one commits. The member
+/// masks are [`CoreSet`]s, so up to [`MAX_CORES`] cores can hold a line.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct Owners {
-    pub(crate) readers: u32,
-    pub(crate) writers: u32,
+    pub(crate) readers: CoreSet,
+    pub(crate) writers: CoreSet,
 }
 
 impl Owners {
     #[cfg(test)]
     fn is_empty(&self) -> bool {
-        self.readers == 0 && self.writers == 0
+        self.readers.is_empty() && self.writers.is_empty()
     }
 }
 
@@ -293,6 +296,12 @@ pub(crate) struct SimState {
     /// scan. The threaded driver never reads it (its cores advance
     /// concurrently between gates, which would stale the cached pair).
     pub horizon: (u64, usize),
+    /// Indexed min-(clock, id) structure backing [`SimState::schedule`].
+    /// Holds one (lazily repaired) entry per live core; sound because
+    /// clocks only increase and cores only retire.
+    pub(crate) sched: LazyMinHeap,
+    /// Host-side scheduling-overhead counters (never simulated state).
+    pub sched_stats: SchedStats,
 }
 
 /// First heap address — 0 stays an invalid ("null") address.
@@ -300,6 +309,11 @@ const HEAP_BASE: Addr = 4096;
 
 impl SimState {
     pub fn new(cfg: MachineConfig) -> SimState {
+        assert!(
+            (1..=MAX_CORES).contains(&cfg.n_cores),
+            "n_cores must be in 1..={MAX_CORES}, got {}",
+            cfg.n_cores
+        );
         let cores = (0..cfg.n_cores)
             .map(|_| CoreState {
                 clock: 0,
@@ -329,12 +343,19 @@ impl SimState {
                 cfg.perm_cache_lines.next_power_of_two()
             },
             horizon: (u64::MAX, usize::MAX),
+            sched: LazyMinHeap::new(cfg.n_cores),
+            sched_stats: SchedStats::default(),
             cfg,
         }
     }
 
     /// The core whose turn it is: minimum clock among unfinished cores,
     /// ties by id. `None` when every core has finished.
+    ///
+    /// Retained as an O(n_cores) linear scan: the threaded driver calls it
+    /// from arbitrary interleavings where the heap's monotonicity argument
+    /// does not apply, and it serves as the reference implementation the
+    /// indexed [`SimState::schedule`] is property-tested against.
     pub fn next_eligible(&self) -> Option<usize> {
         self.cores
             .iter()
@@ -344,34 +365,25 @@ impl SimState {
             .map(|(i, _)| i)
     }
 
-    /// [`SimState::next_eligible`] plus, in the same pass, the runner-up
-    /// `(clock, id)` pair stored into [`SimState::horizon`]. The
-    /// cooperative event loop calls this once per resumption; the chosen
-    /// core's gates then stay eligible exactly while their own
-    /// `(clock, id)` is `<=` the horizon.
+    /// [`SimState::next_eligible`] plus the exact runner-up `(clock, id)`
+    /// pair stored into [`SimState::horizon`]. The cooperative event loop
+    /// calls this once per resumption; the chosen core's gates then stay
+    /// eligible exactly while their own `(clock, id)` is `<=` the horizon.
+    ///
+    /// Backed by the lazy min-heap in [`SimState::sched`]: O(log n_cores)
+    /// amortized per call instead of a linear scan, with identical
+    /// (clock, id) ordering — ties by id, including at clock `u64::MAX`.
     pub fn schedule(&mut self) -> Option<usize> {
-        let mut best: Option<(u64, usize)> = None;
-        let mut second = (u64::MAX, usize::MAX);
-        for (i, c) in self.cores.iter().enumerate() {
-            if c.finished {
-                continue;
-            }
-            let k = (c.clock, i);
-            match best {
-                None => best = Some(k),
-                Some(b) if k < b => {
-                    second = b;
-                    best = Some(k);
-                }
-                Some(_) => {
-                    if k < second {
-                        second = k;
-                    }
-                }
-            }
-        }
+        self.sched_stats.schedule_calls += 1;
+        let cores = &self.cores;
+        let key_of = |i: usize| {
+            let c = &cores[i];
+            (!c.finished).then_some(c.clock)
+        };
+        let (best, second) = self.sched.min2(key_of);
+        self.sched_stats.stale_refreshes = self.sched.stale_refreshes;
         self.horizon = second;
-        best.map(|(_, i)| i)
+        best
     }
 
     // ----- memory & caches ----------------------------------------------
@@ -564,11 +576,10 @@ impl SimState {
     }
 
     fn release_ownership(&mut self, tid: usize, lines: &[TxLine]) {
-        let bit = 1u32 << tid;
         for e in lines {
             let o = &mut self.owners[e.line as usize];
-            o.readers &= !bit;
-            o.writers &= !bit;
+            o.readers.remove(tid);
+            o.writers.remove(tid);
         }
     }
 
@@ -581,13 +592,14 @@ impl SimState {
         let Some(o) = self.owners.get(line as usize).copied() else {
             return;
         };
-        let mut mask = o.writers & !(1u32 << tid);
+        let mut mask = o.writers;
         if is_write {
-            mask |= o.readers & !(1u32 << tid);
+            mask = mask.union(o.readers);
         }
-        while mask != 0 {
-            let v = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
+        mask.remove(tid);
+        // Ascending-id victim walk — the doom order is part of the
+        // bit-identical contract.
+        for v in mask.iter() {
             self.doom(v, addr, tid, req_pc);
         }
     }
@@ -674,9 +686,8 @@ impl SimState {
         };
         if let Some(buffered) = fast {
             debug_assert!(
-                (self.owners[line as usize].readers | self.owners[line as usize].writers)
-                    & (1 << tid)
-                    != 0,
+                self.owners[line as usize].readers.contains(tid)
+                    || self.owners[line as usize].writers.contains(tid),
                 "cached permission without an ownership bit"
             );
             return (
@@ -698,7 +709,7 @@ impl SimState {
                 core.stats.tx_mem_ops += 1;
                 // Lazy: our own buffered write shadows memory.
                 let buffered = tx.buffered(addr);
-                self.owner_mut(line).readers |= 1 << tid;
+                self.owner_mut(line).readers.insert(tid);
                 (Ok(buffered.unwrap_or_else(|| self.read_word(addr))), lat)
             }
             Err(()) => (Err(self.self_abort(tid, AbortCause::Capacity)), 0),
@@ -740,7 +751,7 @@ impl SimState {
         };
         if fast {
             debug_assert!(
-                self.owners[line as usize].writers & (1 << tid) != 0,
+                self.owners[line as usize].writers.contains(tid),
                 "cached write permission without the writer bit"
             );
             if eager {
@@ -765,7 +776,7 @@ impl SimState {
                 tx.touch_line(line, pc, true);
                 tx.perm_insert(line, true);
                 core.stats.tx_mem_ops += 1;
-                self.owner_mut(line).writers |= 1 << tid;
+                self.owner_mut(line).writers.insert(tid);
                 let tx = self.cores[tid].tx.as_mut().unwrap();
                 if eager {
                     // In place, undo-logged, exclusive.
@@ -1159,6 +1170,131 @@ mod tests {
         assert_eq!(s.schedule(), None);
         assert_eq!(s.next_eligible(), None);
         assert_eq!(s.horizon, (u64::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn indexed_schedule_matches_linear_reference() {
+        // Property test: under random monotone clock advances (including
+        // jumps to u64::MAX) and random retirements, the heap-backed
+        // `schedule()` must pick the identical (core, horizon) pair as a
+        // linear-scan reference at every step.
+        use stagger_prng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0DE_2015);
+        for trial in 0..40u64 {
+            let n = 1 + rng.below(80) as usize;
+            let mut s = state(n);
+            for step in 0..200u64 {
+                // Reference: one linear pass computing best + runner-up.
+                let mut ref_best: Option<(u64, usize)> = None;
+                let mut ref_second = (u64::MAX, usize::MAX);
+                for (i, c) in s.cores.iter().enumerate() {
+                    if c.finished {
+                        continue;
+                    }
+                    let k = (c.clock, i);
+                    match ref_best {
+                        None => ref_best = Some(k),
+                        Some(b) if k < b => {
+                            ref_second = b;
+                            ref_best = Some(k);
+                        }
+                        Some(_) => {
+                            if k < ref_second {
+                                ref_second = k;
+                            }
+                        }
+                    }
+                }
+                let got = s.schedule();
+                assert_eq!(
+                    got,
+                    ref_best.map(|(_, i)| i),
+                    "trial {trial} step {step}: scheduled core diverged"
+                );
+                assert_eq!(
+                    s.horizon, ref_second,
+                    "trial {trial} step {step}: horizon diverged"
+                );
+                if got.is_none() {
+                    break;
+                }
+                // Mutate: monotone clock advances on a few random cores
+                // (the heap's soundness precondition), occasionally a jump
+                // straight to u64::MAX, occasionally a retirement.
+                for _ in 0..1 + rng.below(3) {
+                    let i = rng.below(n as u64) as usize;
+                    if s.cores[i].finished {
+                        continue;
+                    }
+                    match rng.below(12) {
+                        0 => s.cores[i].finished = true,
+                        1 => s.cores[i].clock = u64::MAX,
+                        _ => {
+                            let c = &mut s.cores[i];
+                            c.clock = c.clock.saturating_add(rng.below(100));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cores_past_32_conflict_correctly() {
+        // The old u32 masks made `1 << tid` overflow beyond core 31; a
+        // 33-core machine must now conflict-detect across that boundary in
+        // both directions.
+        let mut s = state(33);
+        let a = s.host_alloc(8, true);
+        s.tx_begin(32, 1);
+        s.tx_store(32, a, 1, 0x400).0.unwrap();
+        s.tx_begin(1, 1);
+        s.tx_store(1, a, 2, 0x500).0.unwrap();
+        assert!(s.tx_commit(32).0.is_err(), "core 32 must be doomable");
+        s.tx_commit(1).0.unwrap();
+        // And the reverse: a high-id requester dooms a low-id owner.
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 3, 0x600).0.unwrap();
+        s.tx_begin(32, 2);
+        s.tx_store(32, a, 4, 0x700).0.unwrap();
+        assert!(s.tx_commit(0).0.is_err());
+        s.tx_commit(32).0.unwrap();
+        assert_eq!(s.host_load(a), 4);
+        assert!(s.owners_empty());
+    }
+
+    #[test]
+    fn doom_walk_is_ascending_across_words_at_256_cores() {
+        // Readers spread across all four CoreSet words; a writer's
+        // requester-wins walk must doom every one of them, in ascending id
+        // order (checked indirectly: all are aborted, the writer commits).
+        let mut s = state(256);
+        let a = s.host_alloc(8, true);
+        s.host_store(a, 7);
+        let readers = [5usize, 70, 140, 255];
+        for &t in &readers {
+            s.tx_begin(t, 1);
+            assert_eq!(s.tx_load(t, a, 0x100).0.unwrap(), 7);
+        }
+        s.tx_begin(9, 2);
+        s.tx_store(9, a, 8, 0x200).0.unwrap();
+        for &t in &readers {
+            assert!(s.tx_commit(t).0.is_err(), "reader {t} must be doomed");
+        }
+        s.tx_commit(9).0.unwrap();
+        assert_eq!(s.host_load(a), 8);
+        assert!(s.owners_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_cores")]
+    fn more_than_max_cores_is_rejected() {
+        // Through set_kv (the experiment-spec route), which bypasses the
+        // `MachineConfig::cores` builder assert — SimState::new is the
+        // backstop.
+        let mut cfg = MachineConfig::cores(1).small();
+        cfg.set_kv("n_cores", &(MAX_CORES + 1).to_string()).unwrap();
+        let _ = SimState::new(cfg);
     }
 
     #[test]

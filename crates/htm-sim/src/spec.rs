@@ -27,6 +27,7 @@ use crate::cache::CacheArray;
 use crate::config::HtmProtocol;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::obs::ObsKind;
+use crate::sched::LazyMinHeap;
 use crate::sim::{
     apply_op, AbortCause, AbortInfo, Doomed, Op, OpResult, Owners, SimState, TxError, TxState,
 };
@@ -347,24 +348,44 @@ impl SpecSlot {
         }
     }
 
-    /// Core body finished (`Drop` hook for non-Direct modes). Must never
-    /// panic: `Drop` also runs during unwinding.
-    pub(crate) fn finish(&self, pending: u64) {
+    /// Core body finished (`Drop` hook). Returns `true` when the slot
+    /// absorbed the retirement (queued as a `Finish` record for the commit
+    /// walk, or dropped with a poisoned teardown); `false` when the caller
+    /// must retire the core against real state itself (Direct mode,
+    /// including a demotion triggered right here — a demoted core's driver
+    /// never drains its queue again, so a queued `Finish` would lose the
+    /// trailing `pending` cycles). Must never panic: `Drop` also runs
+    /// during unwinding.
+    pub(crate) fn finish(&self, pending: u64) -> bool {
         let mut s = self.lock();
         match s.mode {
-            SpecMode::Speculating => s.queue.push_back(SpecEntry::Finish { pending }),
+            SpecMode::Speculating => {
+                s.queue.push_back(SpecEntry::Finish { pending });
+                true
+            }
             SpecMode::Replaying => {
-                if s.replay_pos >= s.log.len() {
-                    // Legitimate: the body's first post-prefix action is to
-                    // finish (e.g. the mismatched op was its last).
-                    s.queue.push_back(SpecEntry::Finish { pending });
-                } else {
+                if s.replay_pos < s.log.len() {
                     // Ended before consuming its committed past: diverged.
                     // Flag it; the driver surfaces the panic.
                     s.panicked = true;
+                    true
+                } else if s.demote_on_replay_end {
+                    // Prefix fully replayed and the core is demoted: same
+                    // transition `note` makes. The replayed clock is the
+                    // real clock, so the caller retires directly.
+                    s.mode = SpecMode::Direct;
+                    false
+                } else {
+                    // Legitimate: the body's first post-prefix action is to
+                    // finish (e.g. the mismatched op was its last).
+                    s.queue.push_back(SpecEntry::Finish { pending });
+                    true
                 }
             }
-            SpecMode::Poisoned | SpecMode::Direct => {}
+            // A poisoned body is being torn down; a fresh one re-runs its
+            // tail, so its pending cycles die with it.
+            SpecMode::Poisoned => true,
+            SpecMode::Direct => false,
         }
     }
 }
@@ -610,14 +631,13 @@ impl SpecView {
         for &(addr, old) in vtx.undo.iter().rev() {
             self.write_word(addr, old);
         }
-        let bit = 1u32 << victim;
         for l in &vtx.lines {
             if l.written {
                 self.removed.insert((victim, l.line));
             }
             self.owners_update(base, l.line, |o| {
-                o.readers &= !bit;
-                o.writers &= !bit;
+                o.readers.remove(victim);
+                o.writers.remove(victim);
             });
         }
     }
@@ -625,14 +645,13 @@ impl SpecView {
     fn resolve_conflicts(&mut self, base: &SimState, addr: u64, is_write: bool) {
         let line = line_of(addr);
         let o = self.owners_get(base, line);
-        let self_bit = 1u32 << self.tid;
-        let mut mask = o.writers & !self_bit;
+        let mut mask = o.writers;
         if is_write {
-            mask |= o.readers & !self_bit;
+            mask = mask.union(o.readers);
         }
-        while mask != 0 {
-            let v = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
+        mask.remove(self.tid);
+        // Ascending-id walk, mirroring the authoritative resolve_conflicts.
+        for v in mask.iter() {
             self.doom(base, v);
         }
     }
@@ -652,15 +671,15 @@ impl SpecView {
                 for &(addr, old) in tx.undo.iter().rev() {
                     self.write_word(addr, old);
                 }
-                let bit = 1u32 << self.tid;
+                let tid = self.tid;
                 for l in &tx.lines {
                     if l.written {
                         self.l1.remove(l.line);
                         self.l2.remove(l.line);
                     }
                     self.owners_update(base, l.line, |o| {
-                        o.readers &= !bit;
-                        o.writers &= !bit;
+                        o.readers.remove(tid);
+                        o.writers.remove(tid);
                     });
                 }
             }
@@ -715,7 +734,7 @@ impl SpecView {
                 tx.touch_line(line, pc, false);
                 tx.perm_insert(line, false);
                 let buffered = tx.buffered(addr);
-                self.owners_update(base, line, |o| o.readers |= 1u32 << tid);
+                self.owners_update(base, line, |o| o.readers.insert(tid));
                 (
                     Ok(buffered.unwrap_or_else(|| self.read_word(base, addr))),
                     lat,
@@ -768,7 +787,7 @@ impl SpecView {
                 let tx = self.tx.as_mut().expect("tx_store outside transaction");
                 tx.touch_line(line, pc, true);
                 tx.perm_insert(line, true);
-                self.owners_update(base, line, |o| o.writers |= 1u32 << tid);
+                self.owners_update(base, line, |o| o.writers.insert(tid));
                 let tx = self.tx.as_mut().unwrap();
                 if eager {
                     tx.undo.push((addr, old));
@@ -803,11 +822,11 @@ impl SpecView {
             self.tx = Some(tx);
         }
         let tx = self.tx.take().expect("commit without transaction");
-        let bit = 1u32 << self.tid;
+        let tid = self.tid;
         for l in &tx.lines {
             self.owners_update(base, l.line, |o| {
-                o.readers &= !bit;
-                o.writers &= !bit;
+                o.readers.remove(tid);
+                o.writers.remove(tid);
             });
         }
         (Ok(()), commit_cost)
@@ -963,146 +982,145 @@ pub(crate) enum WalkStep {
 /// result (the op's *identity* was exact: it is determined by the
 /// validated prefix) but discards the rest of the queue and marks the core
 /// for rebuild.
+///
+/// The next core to act is found through `heap`, a [`LazyMinHeap`] over
+/// per-core lower-bound keys, replacing a linear scan per committed op:
+///
+/// * a Direct core or one marked `needs_rebuild` is keyed by its real
+///   clock (exact for Direct, a lower bound for rebuilds),
+/// * a queued head `Op` is keyed by its `key_clock`,
+/// * an order-free head (non-gated read, note, finish) or an empty queue
+///   is keyed by the core's committed clock — a lower bound on whatever
+///   its next gated op turns out to be.
+///
+/// All keys are distinct (the id breaks ties), so the cleaned heap top *is*
+/// the unique global minimum, and dispatching on its kind reproduces the
+/// old scan's decision exactly: an `Op` top commits, a Direct top returns
+/// to the driver, a bound-kind top means nothing can commit without risking
+/// (clock, id) order — `RoundDone`. Order-free heads are drained when their
+/// core reaches the top (they are per-core streams, so drain timing
+/// relative to *other* cores is unobservable). Within one walk every key
+/// transition is monotone non-decreasing, which is the heap's soundness
+/// precondition; the panic-triage path between walks can lower a key
+/// (clearing a queue drops a head key back to the core's clock), so the
+/// walk reseeds the heap on entry rather than keeping it warm across calls.
 pub(crate) fn commit_walk(
     st: &mut SimState,
     slots: &[std::sync::Arc<SpecSlot>],
     ctl: &mut [TaskCtl],
     sstats: &mut SpecStats,
+    heap: &mut LazyMinHeap,
 ) -> WalkStep {
     let n = slots.len();
+    let key_of = |st: &SimState, ctl: &[TaskCtl], tid: usize| -> Option<u64> {
+        if ctl[tid].done {
+            return None;
+        }
+        if ctl[tid].direct || ctl[tid].needs_rebuild {
+            return Some(st.cores[tid].clock);
+        }
+        match slots[tid].lock().queue.front() {
+            Some(&SpecEntry::Op { key_clock, .. }) => Some(key_clock),
+            _ => Some(st.cores[tid].clock),
+        }
+    };
+    heap.reseed(n, |tid| key_of(st, ctl, tid));
     loop {
-        // Phase 1: drain order-free entries (non-gated reads, notes,
-        // finishes) at every live speculating core's queue head. These
-        // depend only on the core's own committed prefix, so they need no
-        // global ordering. Events/traces are per-core streams, so emitting
-        // them here preserves byte-identical per-core order.
-        for tid in 0..n {
-            if ctl[tid].done || ctl[tid].direct || ctl[tid].needs_rebuild {
-                continue;
-            }
-            let mut s = slots[tid].lock();
-            loop {
-                match s.queue.front() {
-                    Some(&SpecEntry::NonGated(v)) => {
-                        let real = ng_real(
-                            st,
-                            tid,
-                            match v {
-                                NgValue::Active(_) => NgKind::Active,
-                                NgValue::AbId(_) => NgKind::AbId,
-                            },
-                        );
-                        if real != v {
-                            sstats.mismatches += 1;
-                            s.queue.clear();
-                            s.view = None;
-                            ctl[tid].needs_rebuild = true;
-                            break;
-                        }
-                        s.queue.pop_front();
-                        s.log.push(ReplayEntry::NonGated(real));
-                    }
-                    Some(&SpecEntry::Note { clock, kind }) => {
-                        st.note_at(tid, clock, kind);
-                        s.queue.pop_front();
-                        // Logged so a replayed body knows this note was
-                        // already emitted (unlogged notes are re-queued).
-                        s.log.push(ReplayEntry::Note);
-                    }
-                    Some(&SpecEntry::Finish { pending }) => {
-                        st.cores[tid].clock += pending;
-                        st.cores[tid].finished = true;
-                        s.queue.clear();
-                        ctl[tid].done = true;
-                        break;
-                    }
-                    _ => break,
-                }
-            }
-        }
-
-        // Phase 2: find the globally minimal committable candidate, and
-        // the minimal *bound* among cores whose next op is unknown
-        // (rebuilding, or queue drained). Committing past the bound could
-        // break the (clock, id) order.
-        let mut best: Option<(u64, usize, bool)> = None; // (clock, tid, is_direct)
-        let mut bound: Option<(u64, usize)> = None;
-        for tid in 0..n {
-            if ctl[tid].done {
-                continue;
-            }
-            if ctl[tid].direct {
-                // Exact: a Direct core pending at its gate has already
-                // folded its compute cycles into the real clock.
-                let key = (st.cores[tid].clock, tid);
-                if best.is_none_or(|(c, t, _)| key < (c, t)) {
-                    best = Some((key.0, key.1, true));
-                }
-                continue;
-            }
-            if ctl[tid].needs_rebuild {
-                let key = (st.cores[tid].clock, tid);
-                if bound.is_none_or(|b| key < b) {
-                    bound = Some(key);
-                }
-                continue;
-            }
-            let s = slots[tid].lock();
-            match s.queue.front() {
-                Some(&SpecEntry::Op { key_clock, .. }) => {
-                    let key = (key_clock, tid);
-                    if best.is_none_or(|(c, t, _)| key < (c, t)) {
-                        best = Some((key.0, key.1, false));
-                    }
-                }
-                Some(_) => unreachable!("order-free heads drained in phase 1"),
-                None => {
-                    let key = (st.cores[tid].clock, tid);
-                    if bound.is_none_or(|b| key < b) {
-                        bound = Some(key);
-                    }
-                }
-            }
-        }
-        let Some((bc, bt, is_direct)) = best else {
+        let Some((_, bt)) = heap.min(|tid| key_of(st, ctl, tid)) else {
+            // Every core retired.
             return WalkStep::RoundDone;
         };
-        if let Some(b) = bound {
-            if b < (bc, bt) {
-                return WalkStep::RoundDone;
-            }
-        }
-        if is_direct {
+        if ctl[bt].direct {
+            // Exact: a Direct core pending at its gate has already folded
+            // its compute cycles into the real clock, and it is globally
+            // next — the driver must admit it.
             return WalkStep::Direct(bt);
         }
-
-        // Phase 3: commit the head op of core `bt` authoritatively.
+        if ctl[bt].needs_rebuild {
+            // The global minimum is only a bound: committing anything
+            // past it could break the (clock, id) order.
+            return WalkStep::RoundDone;
+        }
         let mut s = slots[bt].lock();
-        let Some(SpecEntry::Op {
-            key_clock,
-            op,
-            res,
-            lat,
-        }) = s.queue.pop_front()
-        else {
-            unreachable!("phase 2 saw an Op at this head")
-        };
-        debug_assert!(st.cores[bt].clock <= key_clock);
-        st.cores[bt].clock = key_clock;
-        st.cores[bt].stats.gated_ops += 1;
-        let (real_res, real_lat) = apply_op(st, bt, &op);
-        st.cores[bt].clock += real_lat;
-        s.log.push(ReplayEntry::Gated {
-            res: real_res,
-            clock_after: st.cores[bt].clock,
-        });
-        if real_res == res && real_lat == lat {
-            sstats.committed_ops += 1;
-        } else {
-            sstats.mismatches += 1;
-            s.queue.clear();
-            s.view = None;
-            ctl[bt].needs_rebuild = true;
+        match s.queue.front() {
+            // Empty queue: same bound situation as a rebuild.
+            None => return WalkStep::RoundDone,
+            Some(&SpecEntry::Op { .. }) => {
+                // Commit the head op of core `bt` authoritatively.
+                let Some(SpecEntry::Op {
+                    key_clock,
+                    op,
+                    res,
+                    lat,
+                }) = s.queue.pop_front()
+                else {
+                    unreachable!("front() just saw an Op at this head")
+                };
+                debug_assert!(st.cores[bt].clock <= key_clock);
+                st.cores[bt].clock = key_clock;
+                st.cores[bt].stats.gated_ops += 1;
+                let (real_res, real_lat) = apply_op(st, bt, &op);
+                st.cores[bt].clock += real_lat;
+                s.log.push(ReplayEntry::Gated {
+                    res: real_res,
+                    clock_after: st.cores[bt].clock,
+                });
+                if real_res == res && real_lat == lat {
+                    sstats.committed_ops += 1;
+                } else {
+                    sstats.mismatches += 1;
+                    s.queue.clear();
+                    s.view = None;
+                    ctl[bt].needs_rebuild = true;
+                }
+            }
+            Some(_) => {
+                // Drain the run of order-free entries (non-gated reads,
+                // notes, finishes) at this core's head. They depend only
+                // on the core's own committed prefix, so they need no
+                // global ordering; events/traces are per-core streams, so
+                // emitting them here preserves byte-identical per-core
+                // order.
+                loop {
+                    match s.queue.front() {
+                        Some(&SpecEntry::NonGated(v)) => {
+                            let real = ng_real(
+                                st,
+                                bt,
+                                match v {
+                                    NgValue::Active(_) => NgKind::Active,
+                                    NgValue::AbId(_) => NgKind::AbId,
+                                },
+                            );
+                            if real != v {
+                                sstats.mismatches += 1;
+                                s.queue.clear();
+                                s.view = None;
+                                ctl[bt].needs_rebuild = true;
+                                break;
+                            }
+                            s.queue.pop_front();
+                            s.log.push(ReplayEntry::NonGated(real));
+                        }
+                        Some(&SpecEntry::Note { clock, kind }) => {
+                            st.note_at(bt, clock, kind);
+                            s.queue.pop_front();
+                            // Logged so a replayed body knows this note was
+                            // already emitted (unlogged notes are
+                            // re-queued).
+                            s.log.push(ReplayEntry::Note);
+                        }
+                        Some(&SpecEntry::Finish { pending }) => {
+                            st.cores[bt].clock += pending;
+                            st.cores[bt].finished = true;
+                            s.queue.clear();
+                            ctl[bt].done = true;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+            }
         }
     }
 }

@@ -97,7 +97,14 @@ fn randomized_runs_are_scheduler_invariant() {
     let mut meta = Xoshiro256StarStar::seed_from_u64(0x5EED_2015);
     for s in 0..SCENARIOS {
         let seed = meta.next_u64();
-        let n_cores = 1 + meta.index(4);
+        // Mostly tiny machines (they maximize conflict density per op),
+        // with a steady trickle of 64-core scenarios to exercise the
+        // multi-word ownership bitsets past the old u32 boundary.
+        let n_cores = if meta.below(16) == 0 {
+            64
+        } else {
+            1 + meta.index(4)
+        };
         let iters = 1 + meta.below(8);
         let n_lines = 1 + meta.below(3);
         // Randomized *host* knobs: quantum length and worker count must

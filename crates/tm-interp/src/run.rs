@@ -3,7 +3,7 @@
 
 use crate::exec::{ExecStats, Executor};
 use crate::prepared::Prepared;
-use htm_sim::{Machine, SimStats, SpecStats};
+use htm_sim::{Machine, SchedStats, SimStats, SpecStats};
 use stagger_compiler::Compiled;
 use stagger_core::{RtStats, RuntimeConfig, SharedRt};
 use std::sync::Arc;
@@ -33,6 +33,9 @@ pub struct RunOutcome {
     /// machine ran under `Scheduler::Speculative`). Never affects any
     /// simulated quantity.
     pub spec: SpecStats,
+    /// Host-side scheduling-overhead counters (indexed min-heap calls and
+    /// lazy repairs). Never affects any simulated quantity.
+    pub sched: SchedStats,
 }
 
 impl RunOutcome {
@@ -132,6 +135,7 @@ pub fn run_workload_prepared(
         exec,
         returns,
         spec: machine.spec_stats(),
+        sched: machine.sched_stats(),
     }
 }
 

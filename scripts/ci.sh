@@ -5,7 +5,8 @@
 #
 # Steps: format check, release build (workspace root + exhibit binaries),
 # tier-1 tests, workspace tests, a speculative-vs-cooperative scheduler
-# byte-identity gate (plus a --host-threads 1 smoke), a parallel-harness
+# byte-identity gate (plus a --host-threads 1 smoke), a 128-core scaling
+# smoke plus a 64-core cross-scheduler identity gate, a parallel-harness
 # smoke run of fig7 --quick whose output (including the machine-readable
 # results/BENCH_fig7.json) is recorded under results/, and a profile
 # --quick smoke run whose text report and JSONL event dump are recorded
@@ -57,6 +58,28 @@ echo "== --host-threads 1 smoke (speculative on a single-core host)"
 # be byte-identical.
 ./target/release/fig7 --quick --scheduler speculative --host-threads 1 \
   | grep -v '^harness:' | cmp - results/ci_fig7_coop.txt
+
+echo "== scaling 128-core smoke (quick, both modes)"
+# The wide-bitset + indexed-scheduler path past the single-word CoreSet
+# fast path (n_cores > 64) must stay runnable: list-hi and memcached in
+# both modes at 128 cores.
+./target/release/scaling --quick --cores 128 --jobs 2 \
+  | tee results/ci_scaling_128.txt
+test "$(awk '$3 == 128' results/ci_scaling_128.txt | wc -l)" -eq 4
+
+echo "== scaling 64-core byte-identity gate (speculative vs cooperative)"
+# At 64 cores, all simulated quantities must match across drivers byte
+# for byte. Host-side columns (ns/inst, Minsts/s, and the
+# cooperative-only sched counters) legitimately differ, so compare the
+# simulated projection of the table: benchmark, mode, cores, sim_cycles,
+# aborts/cm.
+sim_cols() { grep -v '^harness:' | awk '{print $1, $2, $3, $4, $5}'; }
+./target/release/scaling --quick --cores 64 --jobs 2 \
+  | sim_cols > results/ci_scaling_coop.txt
+./target/release/scaling --quick --cores 64 \
+    --scheduler speculative --host-threads 2 --jobs 2 \
+  | sim_cols > results/ci_scaling_spec.txt
+cmp results/ci_scaling_coop.txt results/ci_scaling_spec.txt
 
 echo "== fig7 --quick --jobs 2 --json (harness smoke)"
 mkdir -p results
