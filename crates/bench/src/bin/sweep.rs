@@ -39,7 +39,7 @@ impl SweepOpts {
         let common = CommonOpts::parse_with(
             "[--spec NAME]... [--max-cells N] [--dir PATH] [--list]",
             "sweep options:\n  \
-             --spec NAME      built-in sweep to run (repeatable; default: pc-tags lock-tuning)\n  \
+             --spec NAME      built-in sweep to run (repeatable; default: every built-in)\n  \
              --max-cells N    compute at most N new cells this invocation (resume later)\n  \
              --dir PATH       sweep cache/table directory (default results/sweeps)\n  \
              --list           list the built-in sweeps and their grids, then exit",

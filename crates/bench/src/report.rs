@@ -32,7 +32,7 @@
 
 use crate::jobs::{run_jobs_timed, WorkerUtil};
 use crate::{CommonOpts, Measured, RunSpec};
-use htm_sim::MachineConfig;
+use htm_sim::{histogram_of, txn_latencies, LatencySummary, MachineConfig};
 use stagger_core::{Mode, RuntimeConfig};
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -60,6 +60,10 @@ pub struct RunRecord {
     pub sched_calls: u64,
     pub sched_stale: u64,
     pub host_secs: f64,
+    /// Latency percentile digest, present when the run recorded
+    /// observability events (simulated cycles; request-level for the
+    /// serving exhibits, transaction-level otherwise).
+    pub latency: Option<LatencySummary>,
 }
 
 impl RunRecord {
@@ -127,7 +131,22 @@ impl Report {
     }
 
     /// Record a finished run (the run helpers below call this for you).
+    /// Runs that carried observability events get a transaction-level
+    /// latency digest for free; exhibits that know request arrivals
+    /// (serve) use [`Report::record_with_latency`] instead.
     pub fn record(&self, r: &BenchResult) {
+        let latency =
+            (!r.events.is_empty()).then(|| histogram_of(&txn_latencies(&r.events)).summary());
+        self.record_with(r, latency);
+    }
+
+    /// Record a finished run with an exhibit-supplied latency digest
+    /// (e.g. request-level, derived against an arrival schedule).
+    pub fn record_with_latency(&self, r: &BenchResult, latency: LatencySummary) {
+        self.record_with(r, Some(latency));
+    }
+
+    fn record_with(&self, r: &BenchResult, latency: Option<LatencySummary>) {
         self.records.lock().unwrap().push(RunRecord {
             workload: r.name,
             mode: r.mode.name(),
@@ -142,6 +161,7 @@ impl Report {
             sched_calls: r.out.sched.schedule_calls,
             sched_stale: r.out.sched.stale_refreshes,
             host_secs: r.host_secs,
+            latency,
         });
     }
 
@@ -231,12 +251,29 @@ impl Report {
         s.push_str(&format!("  \"insts_per_sec\": {ips:.1},\n"));
         s.push_str("  \"runs\": [\n");
         for (i, r) in recs.iter().enumerate() {
+            // Percentile digest of the run's latency distribution, when
+            // the run recorded observability events.
+            let lat = match &r.latency {
+                Some(l) => format!(
+                    "\"lat_count\": {}, \"lat_p50\": {}, \"lat_p90\": {}, \
+                     \"lat_p99\": {}, \"lat_p999\": {}, \"lat_max\": {}, \
+                     \"lat_mean\": {}, ",
+                    l.count,
+                    l.p50,
+                    l.p90,
+                    l.p99,
+                    l.p999,
+                    l.max,
+                    l.mean(),
+                ),
+                None => String::new(),
+            };
             s.push_str(&format!(
                 "    {{ \"workload\": {}, \"mode\": {}, \"threads\": {}, \
                  \"sim_cycles\": {}, \"sim_insts\": {}, \"gated_ops\": {}, \
                  \"spec_speculated\": {}, \"spec_committed\": {}, \
                  \"spec_mismatches\": {}, \"spec_rebuilds\": {}, \
-                 \"sched_calls\": {}, \"sched_stale\": {}, \
+                 \"sched_calls\": {}, \"sched_stale\": {}, {lat}\
                  \"host_secs\": {:.6}, \"insts_per_sec\": {:.1}, \
                  \"ns_per_inst\": {:.2} }}{}\n",
                 json_str(r.workload),
@@ -284,6 +321,12 @@ impl Report {
         // `.max(0.0)` normalizes the empty-sum -0.0 so a zero-run report
         // prints "0.00" rather than "-0.00".
         let run_secs: f64 = recs.iter().map(|r| r.host_secs).sum::<f64>().max(0.0);
+        let sched_calls: u64 = recs.iter().map(|r| r.sched_calls).sum();
+        let sched_stale: u64 = recs.iter().map(|r| r.sched_stale).sum();
+        let spec_ops: u64 = recs.iter().map(|r| r.spec_speculated).sum();
+        let spec_committed: u64 = recs.iter().map(|r| r.spec_committed).sum();
+        let spec_mismatches: u64 = recs.iter().map(|r| r.spec_mismatches).sum();
+        let spec_rebuilds: u64 = recs.iter().map(|r| r.spec_rebuilds).sum();
         drop(recs);
         let wall = self.started.elapsed().as_secs_f64();
         let ips = if wall > 0.0 {
@@ -299,6 +342,24 @@ impl Report {
             human(total_insts as f64),
             human(ips)
         );
+        // Scheduler-overhead counters, previously visible only in the
+        // `--json` dump: indexed-scheduler work and (under the
+        // speculative driver) mis-speculation accounting.
+        if sched_calls > 0 {
+            println!(
+                "harness: sched {} schedule() calls, {} stale refreshes",
+                human(sched_calls as f64),
+                human(sched_stale as f64)
+            );
+        }
+        if spec_ops > 0 {
+            println!(
+                "harness: spec {} ops speculated, {} committed, \
+                 {spec_mismatches} mismatches, {spec_rebuilds} rebuilds",
+                human(spec_ops as f64),
+                human(spec_committed as f64)
+            );
+        }
         if self.opts.json {
             match self.write_json() {
                 Ok(path) => println!("harness: wrote {}", path.display()),
@@ -367,6 +428,15 @@ mod tests {
             sched_calls: 9,
             sched_stale: 3,
             host_secs: 2.0,
+            latency: Some(LatencySummary {
+                count: 4,
+                p50: 100,
+                p90: 200,
+                p99: 300,
+                p999: 300,
+                max: 310,
+                total: 800,
+            }),
         });
         rep.records.lock().unwrap().push(RunRecord {
             workload: "alpha",
@@ -382,6 +452,7 @@ mod tests {
             sched_calls: 0,
             sched_stale: 0,
             host_secs: 0.5,
+            latency: None,
         });
         let j = rep.to_json();
         assert!(j.contains("\"exhibit\": \"unit\\\"test\""));
@@ -396,6 +467,10 @@ mod tests {
         assert!(j.contains("\"spec_mismatches\": 1"));
         assert!(j.contains("\"sched_calls\": 9"));
         assert!(j.contains("\"sched_stale\": 3"));
+        // The latency digest appears only on the run that carried one.
+        assert!(j.contains("\"lat_p999\": 300"));
+        assert!(j.contains("\"lat_mean\": 200"));
+        assert_eq!(j.matches("\"lat_count\"").count(), 1);
         // ns_per_inst for zeta: 2.0 s * 1e9 / 20 = 1e8
         assert!(j.contains("\"ns_per_inst\": 100000000.00"));
         assert!(j.contains("\"workers\": ["));

@@ -749,7 +749,7 @@ fn json_str(s: &str) -> String {
 
 /// Names of the built-in sweeps, in presentation order.
 pub fn builtin_sweep_names() -> &'static [&'static str] {
-    &["pc-tags", "lock-tuning", "scaling"]
+    &["pc-tags", "lock-tuning", "scaling", "serve"]
 }
 
 /// The built-in sweeps behind the paper's two headline sensitivity
@@ -766,6 +766,10 @@ pub fn builtin_sweep_names() -> &'static [&'static str] {
 ///   on the two high-contention workloads: how contention metrics evolve
 ///   past the old 32-core ownership-mask boundary (the `scaling` binary
 ///   reports the host-side scheduler economics of the same grid).
+/// * `serve` — the serving scenario: offered load (the `workload` axis
+///   walks a `serve-flash-i<N>` interarrival ladder, open loop) × mode ×
+///   core count. Contention metrics of the same grid the `serve` binary
+///   reports latency percentiles for.
 pub fn builtin_sweep(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
     match name {
         "pc-tags" => Some(SweepSpec {
@@ -801,6 +805,23 @@ pub fn builtin_sweep(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
                 Axis::new("workload", &["list-hi", "memcached"]),
                 Axis::new("mode", &["HTM", "Staggered"]),
                 Axis::new("threads", &["16", "32", "64", "128", "256"]),
+            ],
+        }),
+        "serve" => Some(SweepSpec {
+            name: "serve".to_string(),
+            base: RunSpec::from_opts(opts, "serve-flash-i48000", Mode::Htm),
+            axes: vec![
+                Axis::new(
+                    "workload",
+                    &[
+                        "serve-flash-i48000",
+                        "serve-flash-i36000",
+                        "serve-flash-i24000",
+                        "serve-flash-i8000",
+                    ],
+                ),
+                Axis::new("mode", &["HTM", "Staggered"]),
+                Axis::new("threads", &["16", "64"]),
             ],
         }),
         _ => None,
@@ -943,6 +964,13 @@ mod tests {
         // names a legal core count (1..=MAX_CORES is builder-checked).
         assert!(cells.iter().all(|c| c.spec.threads <= htm_sim::MAX_CORES));
         assert_eq!(cells.last().unwrap().spec.threads, 256);
+        let serve = builtin_sweep("serve", &opts).unwrap();
+        let cells = serve.cells().unwrap();
+        assert_eq!(cells.len(), 4 * 2 * 2);
+        // Every rung of the offered-load ladder resolves in the registry.
+        assert!(cells
+            .iter()
+            .all(|c| workloads::workload_by_name(&c.spec.workload, true).is_some()));
         assert!(builtin_sweep("nope", &opts).is_none());
     }
 }

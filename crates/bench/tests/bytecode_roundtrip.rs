@@ -38,6 +38,7 @@ fn single_opcode(inst: &Inst) -> OpCode {
         Inst::Br { .. } => OpCode::Br,
         Inst::CondBr { .. } => OpCode::CondBr,
         Inst::Compute { .. } => OpCode::Compute,
+        Inst::IdleUntil { .. } => OpCode::IdleUntil,
         Inst::Rand { .. } => OpCode::Rand,
         Inst::AlPoint { .. } => OpCode::AlPoint,
     }
@@ -185,7 +186,11 @@ fn check_func(fname: &str, pf: &tm_interp::prepared::PreparedFunc, bf: &Bytecode
 #[test]
 fn every_workload_module_round_trips() {
     for quick in [true, false] {
-        for w in &workload_set(quick) {
+        // The serving workload rides along: its open-loop thread_main is
+        // the only module emitting IdleUntil µ-ops.
+        let mut set = workload_set(quick);
+        set.push(workloads::workload_by_name("serve-flash-i8000", quick).unwrap());
+        for w in &set {
             let p = PreparedWorkload::new(w.as_ref());
             let prep = Prepared::build(p.compiled());
             assert_eq!(prep.funcs.len(), prep.code.funcs.len());

@@ -5,10 +5,11 @@
 //! attribution has to point at the list-traversal access the staggered
 //! mode anchors on.
 
-use htm_sim::{Machine, MachineConfig};
+use htm_sim::{Machine, MachineConfig, Scheduler};
 use stagger_bench::profiling::{conflict_pairs, resolve_tag};
 use stagger_bench::workload_set;
 use stagger_core::{Mode, RuntimeConfig};
+use workloads::serve::Serve;
 use workloads::PreparedWorkload;
 
 fn run_with_recording(
@@ -59,6 +60,67 @@ fn event_recording_does_not_perturb_the_simulation() {
                 off.2,
                 on.2,
                 "{name} [{}]: returns perturbed by event recording",
+                mode.name()
+            );
+        }
+    }
+}
+
+/// The serving scenario's latency capture is itself a pure observer, and
+/// every per-request latency is a simulated quantity: recording on vs off
+/// leaves the simulation bit-identical, and the full request-latency table
+/// (arrival, completion, and the component breakdown) is bit-identical
+/// across the cooperative, threaded and speculative schedulers.
+#[test]
+fn serve_latency_identical_across_schedulers() {
+    let name = "serve-flash-i8000";
+    let w = workloads::workload_by_name(name, true).expect("serve name parses");
+    let p = PreparedWorkload::new(w.as_ref());
+    let cores = 4;
+    let cfg = Serve::parse_name(name, true).expect("serve name parses");
+    let arrivals: Vec<Vec<u64>> = (0..cores)
+        .map(|c| cfg.schedule(c).iter().map(|r| r.arrival).collect())
+        .collect();
+
+    for mode in [Mode::Htm, Mode::Staggered] {
+        let off = run_with_recording(&p, mode, false);
+        let on = run_with_recording(&p, mode, true);
+        assert_eq!(
+            off.0,
+            on.0,
+            "{name} [{}]: stats perturbed by event recording",
+            mode.name()
+        );
+        assert_eq!(
+            off.2,
+            on.2,
+            "{name} [{}]: returns perturbed by event recording",
+            mode.name()
+        );
+
+        let tables: Vec<_> = [
+            Scheduler::Cooperative,
+            Scheduler::Threaded,
+            Scheduler::Speculative,
+        ]
+        .into_iter()
+        .map(|sched| {
+            let mcfg = MachineConfig::cores(cores).record_events().scheduler(sched);
+            let r = p.run_cfg(2015, mcfg, RuntimeConfig::with_mode(mode));
+            let reqs = htm_sim::request_latencies(&r.events, &arrivals);
+            assert!(
+                !reqs.is_empty(),
+                "{name} [{}] {sched:?}: no requests derived",
+                mode.name()
+            );
+            (htm_sim::histogram_of(&reqs).summary(), reqs)
+        })
+        .collect();
+        for t in &tables[1..] {
+            assert_eq!(
+                tables[0],
+                *t,
+                "{name} [{}]: latency table differs across schedulers",
                 mode.name()
             );
         }

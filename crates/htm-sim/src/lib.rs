@@ -41,6 +41,7 @@ pub mod cache;
 pub mod config;
 pub mod coreset;
 pub mod fx;
+pub mod latency;
 pub mod machine;
 pub mod obs;
 pub mod sched;
@@ -53,6 +54,9 @@ pub use addr::{line_addr, line_of, Addr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES}
 pub use config::{HtmProtocol, MachineConfig, Scheduler};
 pub use coreset::MAX_CORES;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use latency::{
+    histogram_of, request_latencies, txn_latencies, LatencySummary, LogHistogram, RequestLatency,
+};
 pub use machine::{body, factory, Core, CoreBody, CoreFactory, CoreFn, Machine};
 pub use obs::{
     AbortBreakdown, ConflictMatrix, EventRing, ObsEvent, ObsKind, WaitHistogram, WordWaits,

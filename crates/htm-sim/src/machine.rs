@@ -635,6 +635,18 @@ impl<'m> Core<'m> {
         self.pending += cycles;
     }
 
+    /// Advance this core's logical time to at least `cycle` (a no-op when
+    /// the deadline already passed). Purely local like [`Core::compute`]
+    /// — it only widens `pending` — so it is deterministic under every
+    /// scheduler. This is how open-loop load generators park a core until
+    /// its next request's arrival timestamp.
+    pub fn idle_until(&mut self, cycle: u64) {
+        let now = self.now();
+        if cycle > now {
+            self.pending += cycle - now;
+        }
+    }
+
     /// Is this core driven by the speculative scheduler? Decides, per op,
     /// between the monomorphized closure gate (fast path) and the
     /// [`Op`]-value gate the overlay machinery requires.

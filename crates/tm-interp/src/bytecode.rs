@@ -97,6 +97,9 @@ pub enum OpCode {
     CondBr,
     /// Spend `imm` local cycles.
     Compute,
+    /// Advance the core's logical clock to at least `r[a]` (no-op when
+    /// the deadline already passed).
+    IdleUntil,
     /// `r[a] = prng() % r[b]` (`r[b]` must be nonzero).
     Rand,
     /// Unfused advisory locking point: anchor `imm2`, data address
@@ -432,6 +435,10 @@ fn lower_single(inst: &Inst, pc: Pc, arg_pool: &mut Vec<u16>) -> UOp {
             u.code = OpCode::Compute;
             u.imm = *cycles;
         }
+        Inst::IdleUntil { cycle } => {
+            u.code = OpCode::IdleUntil;
+            u.a = reg(*cycle);
+        }
         Inst::Rand { dst, bound } => {
             u.code = OpCode::Rand;
             u.a = reg(*dst);
@@ -519,6 +526,7 @@ impl BytecodeFunc {
             OpCode::Br => format!("br {:04}", u.imm),
             OpCode::CondBr => format!("condbr {} ? {:04} : {:04}", r(u.a), u.imm, u.imm2),
             OpCode::Compute => format!("compute {}", u.imm),
+            OpCode::IdleUntil => format!("idle_until {}", r(u.a)),
             OpCode::Rand => format!("rand {} = [0, {})", r(u.a), r(u.b)),
             OpCode::AlPoint => format!(
                 "alp anchor={} [{} + {} + {}]",

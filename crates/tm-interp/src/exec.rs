@@ -367,6 +367,7 @@ impl<'c> Executor<'c> {
                         };
                     }
                     OpCode::Compute => core.compute(u64::from(u.imm)),
+                    OpCode::IdleUntil => core.idle_until(regs[u.a as usize]),
                     OpCode::Rand => {
                         let b = regs[u.b as usize];
                         assert!(b > 0, "rand with zero bound in {}", f.name);
@@ -602,6 +603,7 @@ impl<'c> Executor<'c> {
                             continue 'blocks;
                         }
                         Inst::Compute { cycles } => core.compute(cycles as u64),
+                        Inst::IdleUntil { cycle } => core.idle_until(regs[cycle.index()]),
                         Inst::Rand { dst, bound } => {
                             let b = regs[bound.index()];
                             assert!(b > 0, "rand with zero bound in {}", f.name);

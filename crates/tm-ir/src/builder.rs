@@ -294,6 +294,12 @@ impl FuncBuilder {
         self.emit(Inst::Compute { cycles });
     }
 
+    /// Park the executing core until the cycle count held in `cycle`
+    /// (no-op when that deadline already passed).
+    pub fn idle_until(&mut self, cycle: Reg) {
+        self.emit(Inst::IdleUntil { cycle });
+    }
+
     /// Uniform random integer in `[0, bound)`.
     pub fn rand(&mut self, bound: Reg) -> Reg {
         let dst = self.reg();

@@ -56,6 +56,7 @@ pub fn format_inst(m: &Module, inst: &Inst) -> String {
             else_b,
         } => format!("br {cond} ? {then_b} : {else_b}"),
         Inst::Compute { cycles } => format!("compute {cycles}"),
+        Inst::IdleUntil { cycle } => format!("idle_until {cycle}"),
         Inst::Rand { dst, bound } => format!("{dst} = rand {bound}"),
         Inst::AlPoint {
             anchor,

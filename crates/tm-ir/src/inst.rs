@@ -113,6 +113,13 @@ pub enum Inst {
     /// Spend `cycles` of purely local computation (models the non-memory
     /// µ-ops of the original benchmark between memory accesses).
     Compute { cycles: u32 },
+    /// Advance the executing core's logical clock to at least the cycle
+    /// count held in `cycle` (no-op when that deadline already passed).
+    /// Purely local like `Compute` — it only widens the pending-cycle
+    /// window — so it is deterministic under every scheduler. Open-loop
+    /// load generators use it to park a thread until its next request's
+    /// arrival timestamp.
+    IdleUntil { cycle: Reg },
     /// `dst = uniform integer in [0, bound)` from the executing thread's
     /// deterministic PRNG. `bound` must be nonzero at run time.
     Rand { dst: Reg, bound: Reg },
@@ -230,6 +237,7 @@ impl Inst {
             Inst::Ret { val } => val.iter().copied().collect(),
             Inst::CondBr { cond, .. } => vec![*cond],
             Inst::Rand { bound, .. } => vec![*bound],
+            Inst::IdleUntil { cycle } => vec![*cycle],
             Inst::AlPoint { base, index, .. } => {
                 let mut v = vec![*base];
                 v.extend(index.iter().copied());

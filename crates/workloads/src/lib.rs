@@ -31,6 +31,7 @@ pub mod labyrinth;
 pub mod list;
 pub mod memcached;
 pub mod runner;
+pub mod serve;
 pub mod ssca2;
 pub mod tsp;
 pub mod vacation;
@@ -110,6 +111,11 @@ pub fn quick_workloads() -> Vec<Box<dyn Workload>> {
 /// serialized experiment specs resolve their `workload` field back to a
 /// runnable program.
 pub fn workload_by_name(name: &str, quick: bool) -> Option<Box<dyn Workload>> {
+    // Parameterized serving workloads (`serve-<dist>-i<N>` / `-c<N>`) are
+    // constructed from the name rather than enumerated.
+    if name.starts_with("serve-") {
+        return serve::Serve::parse_name(name, quick).map(|w| Box::new(w) as Box<dyn Workload>);
+    }
     let set = if quick {
         quick_workloads()
     } else {

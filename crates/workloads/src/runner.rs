@@ -6,7 +6,7 @@
 //! the convenient one-shot entry point.
 
 use crate::Workload;
-use htm_sim::{Machine, MachineConfig};
+use htm_sim::{Machine, MachineConfig, ObsEvent};
 use stagger_compiler::{compile, CompileStats, Compiled};
 use stagger_core::{Mode, RuntimeConfig};
 use std::sync::Arc;
@@ -24,6 +24,12 @@ pub struct BenchResult {
     /// Host wall-clock seconds spent simulating this run (setup through
     /// validation) — the simulator's own throughput, not a paper metric.
     pub host_secs: f64,
+    /// Per-core observability event streams, taken from the machine when
+    /// [`MachineConfig::record_events`] was set (empty otherwise, and
+    /// always empty via [`PreparedWorkload::run_on`], where the caller
+    /// keeps the machine and its rings). Pure-observer data: latency
+    /// derivation over these streams never feeds back into the run.
+    pub events: Vec<Vec<ObsEvent>>,
 }
 
 impl BenchResult {
@@ -132,7 +138,11 @@ impl<'w> PreparedWorkload<'w> {
         rt_cfg: RuntimeConfig,
     ) -> BenchResult {
         let machine = Machine::new(machine_cfg);
-        self.run_on(&machine, &rt_cfg, seed)
+        let mut r = self.run_on(&machine, &rt_cfg, seed);
+        if machine.config().record_events {
+            r.events = machine.take_events();
+        }
+        r
     }
 
     /// Run on a caller-provided, freshly constructed machine. The caller
@@ -177,6 +187,7 @@ impl<'w> PreparedWorkload<'w> {
             out,
             compile_stats: self.compiled.stats.clone(),
             host_secs: started.elapsed().as_secs_f64(),
+            events: Vec::new(),
         }
     }
 }

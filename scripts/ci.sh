@@ -8,9 +8,10 @@
 # byte-identity gate (plus a --host-threads 1 smoke), a 128-core scaling
 # smoke plus a 64-core cross-scheduler identity gate, a parallel-harness
 # smoke run of fig7 --quick whose output (including the machine-readable
-# results/BENCH_fig7.json) is recorded under results/, and a profile
+# results/BENCH_fig7.json) is recorded under results/, a profile
 # --quick smoke run whose text report and JSONL event dump are recorded
-# and sanity-checked.
+# and sanity-checked, and a serve smoke gating the request-latency
+# capture's byte-identity across schedulers.
 #
 # Everything runs with --offline: the workspace has no external
 # dependencies by design, and CI must not depend on a registry.
@@ -118,6 +119,35 @@ if grep -qv '^{.*}$' results/profile_events.jsonl; then
     exit 1
 fi
 grep -q 'list_find_prev' results/profile_list-hi.txt
+
+echo "== serve smoke (latency capture byte-identity + JSONL sanity)"
+# Small open-loop ramp, both modes: the per-request latency tables
+# (derived from the observability event stream) must be byte-identical
+# across the cooperative and speculative schedulers — latency capture is
+# a pure observer over simulated quantities. The jsonl filenames differ
+# between the runs, so the "serve: wrote" echo is filtered with the
+# host-timing lines.
+serve_sim() { grep -v -e '^harness:' -e '^serve: wrote '; }
+./target/release/serve --quick --cores 8 --loads 24000,8000 \
+    --jsonl results/ci_serve_coop.jsonl \
+  | serve_sim > results/ci_serve_coop.txt
+./target/release/serve --quick --cores 8 --loads 24000,8000 \
+    --scheduler speculative --host-threads 2 \
+    --jsonl results/ci_serve_spec.jsonl \
+  | serve_sim > results/ci_serve_spec.txt
+cmp results/ci_serve_coop.txt results/ci_serve_spec.txt
+cmp results/ci_serve_coop.jsonl results/ci_serve_spec.jsonl
+# The per-request JSONL export must be non-empty, line-oriented JSON
+# objects carrying the documented keys.
+test -s results/ci_serve_coop.jsonl
+head -n 1 results/ci_serve_coop.jsonl | grep -q '"latency"'
+head -n 1 results/ci_serve_coop.jsonl | grep -q '"dominant"'
+if grep -qv '^{.*}$' results/ci_serve_coop.jsonl; then
+    echo "ci.sh: malformed JSONL line in results/ci_serve_coop.jsonl" >&2
+    exit 1
+fi
+grep -q '^SLO: ' results/ci_serve_coop.txt
+rm -f results/ci_serve_coop.jsonl results/ci_serve_spec.jsonl
 
 echo "== sweep --quick --spec smoke (ablation-sweep cache smoke)"
 # Cold run: the two-cell smoke sweep computes both cells and populates the
