@@ -5,26 +5,24 @@
 //! first, then the three instrumented modes against them); rows print in
 //! workload order regardless of `--jobs`.
 
-use stagger_bench::{harmonic_mean, paper, prepare_all, workload_set, CommonOpts, Report};
+use stagger_bench::{harmonic_mean, paper, CommonOpts, Exhibit};
 use stagger_core::Mode;
 
 fn main() {
     let opts = CommonOpts::from_args();
-    let report = Report::new("fig7", &opts);
-    println!(
-        "Figure 7: speedup normalized to eager HTM, {} threads{}",
-        opts.threads,
-        if opts.quick { " (quick)" } else { "" }
-    );
-    let header = format!(
+    let ex = Exhibit::new("fig7", &opts);
+    ex.banner(&format!(
+        "Figure 7: speedup normalized to eager HTM, {} threads",
+        opts.threads
+    ));
+    ex.header(&format!(
         "{:<10} {:>8} {:>9} {:>13} {:>10}   {:<22}",
         "benchmark", "HTM", "AddrOnly", "Staggered+SW", "Staggered", "paper expectation"
-    );
-    println!("{header}");
-    stagger_bench::rule(&header);
+    ));
 
-    let set = workload_set(opts.quick);
-    let prepared = prepare_all(&set, opts.jobs);
+    let set = ex.workload_set();
+    let prepared = ex.prepare(&set);
+    let report = ex.report();
 
     // Wave 1: the sequential and baseline-HTM references for every
     // workload (everything in wave 2 is normalized against these).
@@ -32,7 +30,6 @@ fn main() {
         prepared
             .iter()
             .map(|p| {
-                let report = &report;
                 move || {
                     (
                         report.run_sequential(p, opts.seed),
@@ -51,7 +48,6 @@ fn main() {
             .zip(&refs)
             .flat_map(|(p, (seq, htm))| {
                 MODES.map(|mode| {
-                    let report = &report;
                     move || report.measure(p, mode, opts.threads, opts.seed, seq, Some(htm))
                 })
             })
@@ -82,5 +78,5 @@ fn main() {
         "harmonic mean of Staggered speedups over HTM: {:.2}x (paper: 1.24x)",
         hm
     );
-    report.finish();
+    ex.finish();
 }

@@ -10,9 +10,9 @@
 //! (schema: `htm-sim`'s obs module docs / EXPERIMENTS.md).
 
 use htm_sim::obs::{log2_bucket, write_jsonl, AbortBreakdown, ConflictMatrix, WaitHistogram};
-use htm_sim::{Machine, MachineConfig};
+use htm_sim::Machine;
 use stagger_bench::profiling::{conflict_pairs, describe_tag};
-use stagger_bench::{parse_mode, Args, CommonOpts, Report};
+use stagger_bench::{parse_mode, Args, CommonOpts, Exhibit};
 use stagger_core::{Mode, RuntimeConfig};
 use workloads::PreparedWorkload;
 
@@ -64,43 +64,36 @@ impl ProfileOpts {
 
 fn main() {
     let opts = ProfileOpts::from_args();
-    let report = Report::new("profile", &opts.common);
+    let ex = Exhibit::new("profile", &opts.common);
     let name = &opts.workload;
     let mode = opts.mode;
 
-    let Some(w) = workloads::workload_by_name(name, opts.common.quick) else {
-        eprintln!("profile: unknown workload '{name}'");
-        eprintln!("available: {}", workloads::workload_names().join(" "));
-        std::process::exit(2);
-    };
+    let w = ex.workload(name);
     let p = PreparedWorkload::new(w.as_ref());
 
-    let mut mcfg = MachineConfig::cores(opts.common.threads).record_events();
-    if let Some(s) = opts.common.scheduler {
-        mcfg = mcfg.scheduler(s);
-    }
-    let machine = Machine::new(mcfg);
+    let machine = Machine::new(ex.recording_machine(opts.common.threads));
     let r = p.run_on(&machine, &RuntimeConfig::with_mode(mode), opts.common.seed);
-    report.record(&r);
+    ex.report().record(&r);
     let streams = machine.take_events();
     let n_events: usize = streams.iter().map(|s| s.len()).sum();
 
-    println!(
-        "profile: {name} [{}] x{} threads, seed {} — {} cycles, {} events{}",
+    ex.banner(&format!(
+        "profile: {name} [{}] x{} threads, seed {} — {} cycles, {} events",
         mode.name(),
         opts.common.threads,
         opts.common.seed,
         r.cycles(),
-        n_events,
-        if opts.common.quick { " (quick)" } else { "" }
-    );
+        n_events
+    ));
 
     let b = AbortBreakdown::from_events(&streams);
     println!(
-        "aborts: {} conflict, {} capacity, {} explicit ({} commits, {:.2} aborts/commit)",
+        "aborts: {} conflict, {} capacity, {} explicit, {} subscription \
+         ({} commits, {:.2} aborts/commit)",
         b.conflict,
         b.capacity,
         b.explicit,
+        b.subscription,
         b.commits,
         b.aborts() as f64 / (b.commits.max(1)) as f64
     );
@@ -109,13 +102,11 @@ fn main() {
     let pairs = conflict_pairs(&streams);
     let c = p.compiled();
     println!();
-    let header = format!(
+    println!("top conflicting PC pairs");
+    ex.header(&format!(
         "{:<6} {:>6} {:>7} {:>8}   resolution (victim <- aborter)",
         "rank", "count", "ab", "tags"
-    );
-    println!("top conflicting PC pairs");
-    println!("{header}");
-    stagger_bench::rule(&header);
+    ));
     if pairs.is_empty() {
         println!("(no conflict aborts recorded)");
     }
@@ -181,5 +172,5 @@ fn main() {
         println!("wrote {n_events} events to {path}");
     }
 
-    report.finish();
+    ex.finish();
 }

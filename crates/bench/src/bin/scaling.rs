@@ -15,7 +15,7 @@
 //!
 //! `--json` dumps every run to `results/BENCH_scaling.json`.
 
-use stagger_bench::{prepare_all, Args, CommonOpts, Report};
+use stagger_bench::{Args, CommonOpts, Exhibit};
 use stagger_core::Mode;
 
 /// scaling's option set: the common flags plus the core-count ladder.
@@ -68,14 +68,13 @@ const MODES: [Mode; 2] = [Mode::Htm, Mode::Staggered];
 
 fn main() {
     let opts = ScalingOpts::from_args();
-    let report = Report::new("scaling", &opts.common);
-    println!(
-        "Core-count scaling: {} x {{HTM, Staggered}} at n_cores in {:?}{}",
+    let ex = Exhibit::new("scaling", &opts.common);
+    ex.banner(&format!(
+        "Core-count scaling: {} x {{HTM, Staggered}} at n_cores in {:?}",
         WORKLOADS.join(", "),
-        opts.cores,
-        if opts.common.quick { " (quick)" } else { "" }
-    );
-    let header = format!(
+        opts.cores
+    ));
+    ex.header(&format!(
         "{:<10} {:<10} {:>6} {:>14} {:>10} {:>9} {:>10} {:>12} {:>11}",
         "benchmark",
         "mode",
@@ -86,17 +85,11 @@ fn main() {
         "Minsts/s",
         "sched_calls",
         "sched_stale"
-    );
-    println!("{header}");
-    stagger_bench::rule(&header);
+    ));
 
-    let set: Vec<Box<dyn workloads::Workload>> = WORKLOADS
-        .iter()
-        .map(|name| {
-            workloads::workload_by_name(name, opts.common.quick).expect("built-in workload")
-        })
-        .collect();
-    let prepared = prepare_all(&set, opts.common.jobs);
+    let set = ex.workload_list(&WORKLOADS);
+    let prepared = ex.prepare(&set);
+    let report = ex.report();
 
     // One job per (workload, mode, cores) cell; the pool keeps results in
     // submission order, so rows print ladder-ordered at any --jobs level.
@@ -104,7 +97,6 @@ fn main() {
         prepared
             .iter()
             .flat_map(|p| {
-                let report = &report;
                 let cores = &opts.cores;
                 let seed = opts.common.seed;
                 MODES.into_iter().flat_map(move |mode| {
@@ -119,7 +111,10 @@ fn main() {
     for r in &runs {
         let agg = r.out.sim.aggregate();
         let commits = agg.commits + agg.irrevocable_commits;
-        let aborts = agg.conflict_aborts + agg.capacity_aborts + agg.explicit_aborts;
+        let aborts = agg.conflict_aborts
+            + agg.capacity_aborts
+            + agg.explicit_aborts
+            + agg.subscription_aborts;
         let apc = if commits > 0 {
             aborts as f64 / commits as f64
         } else {
@@ -138,5 +133,5 @@ fn main() {
             r.out.sched.stale_refreshes,
         );
     }
-    report.finish();
+    ex.finish();
 }

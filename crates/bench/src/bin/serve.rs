@@ -18,11 +18,10 @@
 //! dominant blame) as JSON Lines; `--json` dumps the harness report to
 //! `results/BENCH_serve.json`.
 
-use stagger_bench::{Args, CommonOpts, Report};
+use stagger_bench::{Args, CommonOpts, Exhibit};
 use stagger_core::{Mode, RuntimeConfig};
 use std::io::Write as _;
 use workloads::serve::Serve;
-use workloads::PreparedWorkload;
 
 struct ServeOpts {
     common: CommonOpts,
@@ -113,16 +112,14 @@ const MODES: [Mode; 2] = [Mode::Htm, Mode::Staggered];
 
 fn main() {
     let opts = ServeOpts::from_args();
-    let report = Report::new("serve", &opts.common);
-    println!(
+    let ex = Exhibit::new("serve", &opts.common);
+    let report = ex.report();
+    ex.banner(&format!(
         "Serving scenario: serve-{} open-loop ramp x {{HTM, Staggered}} on {} cores, \
-         p99 SLO {} cycles{}",
-        opts.dist,
-        opts.cores,
-        opts.slo,
-        if opts.common.quick { " (quick)" } else { "" }
-    );
-    let header = format!(
+         p99 SLO {} cycles",
+        opts.dist, opts.cores, opts.slo
+    ));
+    ex.header(&format!(
         "{:<16} {:<10} {:>6} {:>8} {:>6} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "workload",
         "mode",
@@ -137,35 +134,25 @@ fn main() {
         "p999",
         "max",
         "p99<=SLO"
-    );
-    println!("{header}");
-    stagger_bench::rule(&header);
+    ));
 
     // One workload (and one compile) per offered-load rung.
-    let rung_workloads: Vec<Box<dyn workloads::Workload>> = opts
+    let rung_names: Vec<String> = opts
         .loads
         .iter()
-        .map(|ia| {
-            let name = format!("serve-{}-i{ia}", opts.dist);
-            workloads::workload_by_name(&name, opts.common.quick).expect("serve names parse")
-        })
+        .map(|ia| format!("serve-{}-i{ia}", opts.dist))
         .collect();
-    let prepared: Vec<PreparedWorkload> = report.pool(
-        rung_workloads
-            .iter()
-            .map(|w| move || PreparedWorkload::new(w.as_ref()))
-            .collect(),
-    );
+    let rung_workloads: Vec<Box<dyn workloads::Workload>> =
+        rung_names.iter().map(|name| ex.workload(name)).collect();
+    let prepared = ex.prepare(&rung_workloads);
 
     // Regenerate each rung's arrival schedule (a pure function of the
     // workload config) so request latency is measured from *arrival*,
     // queueing included.
-    let arrivals: Vec<Vec<Vec<u64>>> = opts
-        .loads
+    let arrivals: Vec<Vec<Vec<u64>>> = rung_names
         .iter()
-        .map(|ia| {
-            let cfg = Serve::parse_name(&format!("serve-{}-i{ia}", opts.dist), opts.common.quick)
-                .expect("serve names parse");
+        .map(|name| {
+            let cfg = Serve::parse_name(name, opts.common.quick).expect("serve names parse");
             (0..opts.cores)
                 .map(|c| cfg.schedule(c).iter().map(|r| r.arrival).collect())
                 .collect()
@@ -177,15 +164,15 @@ fn main() {
         MODES
             .iter()
             .flat_map(|&mode| {
+                let ex = &ex;
                 let opts = &opts;
                 prepared.iter().map(move |p| {
                     move || {
-                        let mut cfg = htm_sim::MachineConfig::cores(opts.cores).record_events();
-                        if let Some(s) = opts.common.scheduler {
-                            cfg = cfg.scheduler(s);
-                        }
-                        cfg.host_threads = opts.common.host_threads;
-                        p.run_cfg(opts.common.seed, cfg, RuntimeConfig::with_mode(mode))
+                        p.run_cfg(
+                            opts.common.seed,
+                            ex.recording_machine(opts.cores),
+                            RuntimeConfig::with_mode(mode),
+                        )
                     }
                 })
             })
@@ -285,5 +272,5 @@ fn main() {
             ),
         }
     }
-    report.finish();
+    ex.finish();
 }

@@ -11,13 +11,16 @@
 //! Built-in sweeps: `pc-tags` (conflicting-PC tag width × mode on the
 //! high-contention workloads — the paper's "12 bits suffice" claim),
 //! `lock-tuning` (advisory-lock timeout × Polite backoff base — the
-//! Section 2 liveness/serialization trade-off), and `smoke` (a two-cell
-//! sweep for CI cache checks).
+//! Section 2 liveness/serialization trade-off), `scaling` and `serve`
+//! (contention metrics of the core-count and offered-load grids),
+//! `protocols` (the protocol matrix: workload × mode × execution
+//! variant — the `protocols` binary renders the same grid as an
+//! exhibit), and `smoke` (a two-cell sweep for CI cache checks).
 
 use stagger_bench::sweep::{
     builtin_sweep, builtin_sweep_names, cell_dir, run_sweep, write_tables, SweepSpec,
 };
-use stagger_bench::{Args, CommonOpts, Report, RunSpec};
+use stagger_bench::{Args, CommonOpts, Exhibit, RunSpec};
 use stagger_core::Mode;
 use std::path::PathBuf;
 
@@ -96,7 +99,7 @@ fn resolve(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
 
 fn main() {
     let opts = SweepOpts::from_args();
-    let report = Report::new("sweep", &opts.common);
+    let ex = Exhibit::new("sweep", &opts.common);
 
     if opts.list {
         for &name in builtin_sweep_names().iter().chain(&["smoke"]) {
@@ -139,7 +142,7 @@ fn main() {
             &opts.dir,
             opts.common.jobs,
             opts.max_cells,
-            Some(&report),
+            Some(ex.report()),
         )
         .unwrap_or_else(|e| {
             eprintln!("sweep: {e}");
@@ -172,7 +175,7 @@ fn main() {
         // Human-readable grid summary.
         println!();
         let coord_hdr: Vec<String> = spec.axes.iter().map(|ax| ax.key.clone()).collect();
-        let header = format!(
+        ex.header(&format!(
             "{:<44} {:>12} {:>8} {:>8} {:>9} {:>8}",
             coord_hdr.join(" / "),
             "cycles",
@@ -180,9 +183,7 @@ fn main() {
             "abts/c",
             "accuracy",
             "lk t/o"
-        );
-        println!("{header}");
-        stagger_bench::rule(&header);
+        ));
         for (cell, res) in grid.iter().zip(&cells) {
             let coords: Vec<String> = cell.coords.iter().map(|(_, v)| v.clone()).collect();
             let m = &res.metrics;
@@ -203,7 +204,7 @@ fn main() {
         println!();
     }
 
-    report.finish();
+    ex.finish();
     if !all_complete {
         std::process::exit(3);
     }

@@ -10,6 +10,7 @@
 //! | `table4` | Table 4 — benchmark characteristics |
 //! | `fig7` | Figure 7 — speedup of all four modes normalized to HTM |
 //! | `fig8` | Figure 8 — aborts/commit and wasted/useful cycles |
+//! | `protocols` | protocol matrix — fallback policy × bounded-set HTM across the suite |
 //! | `sweep` | declarative ablation sweeps over [`RunSpec`] grids |
 //!
 //! Run with `cargo run -p stagger-bench --release --bin <name>`. Common
@@ -35,12 +36,14 @@ use htm_sim::Scheduler;
 use stagger_core::{Interp, Mode};
 use workloads::{BenchResult, PreparedWorkload, Workload};
 
+pub mod exhibit;
 pub mod jobs;
 pub mod paper;
 pub mod profiling;
 pub mod report;
 pub mod sweep;
 
+pub use exhibit::Exhibit;
 pub use jobs::run_jobs;
 pub use report::Report;
 pub use sweep::RunSpec;
@@ -63,10 +66,14 @@ common options:
   --interp I       instruction walker: bytecode (default, pre-decoded µ-ops)
                    or legacy (tree-walking reference); simulated results are
                    bit-identical either way, only host speed differs
+  --fallback F     exhausted-retry fallback policy: irrevocable (default),
+                   hybrid-stm, lazy-subscription (unsafe; reproduction of the
+                   documented torn-commit window), or lazy-subscription-safe
+                   (hardware commit-time lock validation)
   --help           show this message";
 
 const COMMON_USAGE_LINE: &str = "[--threads N] [--quick] [--seed N] [--jobs N] [--json] \
-     [--scheduler S] [--host-threads N] [--interp I]";
+     [--scheduler S] [--host-threads N] [--interp I] [--fallback F]";
 
 /// Parse a [`Mode`] by its display name, case-insensitively; `+` may be
 /// omitted ("staggeredsw" ≡ "Staggered+SW"). Thin wrapper over
@@ -182,6 +189,10 @@ pub struct CommonOpts {
     /// Interpreter pin (`--interp`). `None` keeps the runtime default
     /// (the pre-decoded bytecode walker).
     pub interp: Option<Interp>,
+    /// Fallback-policy pin (`--fallback`). `None` keeps the machine
+    /// default (`irrevocable`). Unlike the scheduler/interp pins this IS a
+    /// simulated knob: it enters the experiment spec and its run keys.
+    pub fallback: Option<htm_sim::FallbackPolicy>,
 }
 
 impl CommonOpts {
@@ -195,6 +206,7 @@ impl CommonOpts {
             scheduler: None,
             host_threads: 0,
             interp: None,
+            fallback: None,
         }
     }
 
@@ -240,6 +252,13 @@ impl CommonOpts {
                     o.interp = Some(
                         Interp::parse(&v)
                             .unwrap_or_else(|| a.fail(&format!("invalid --interp value '{v}'"))),
+                    );
+                }
+                "--fallback" => {
+                    let v = a.value("--fallback");
+                    o.fallback = Some(
+                        htm_sim::FallbackPolicy::parse(&v)
+                            .unwrap_or_else(|| a.fail(&format!("invalid --fallback value '{v}'"))),
                     );
                 }
                 "--help" | "-h" => {

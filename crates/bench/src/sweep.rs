@@ -84,6 +84,9 @@ impl RunSpec {
         if let Some(interp) = opts.interp {
             s.runtime.interp = interp;
         }
+        if let Some(fb) = opts.fallback {
+            s.machine = s.machine.fallback(fb);
+        }
         s
     }
 
@@ -129,6 +132,28 @@ impl RunSpec {
             "machine.n_cores" => {
                 return Err("machine.n_cores: set the top-level 'threads' field".to_string());
             }
+            // Synthetic sweep-axis key: one protocol-matrix value expands
+            // into a bundle of real machine-field mutations. It never
+            // appears in canon() — cells serialize only the underlying
+            // fields, so run keys stay spelling-independent.
+            "variant" => match value {
+                "irrevocable" => {
+                    self.machine.set_kv("fallback", "irrevocable")?;
+                    self.machine.set_kv("max_read_lines", "0")?;
+                    self.machine.set_kv("max_write_lines", "0")?;
+                }
+                "hybrid-stm" | "lazy-subscription" | "lazy-subscription-safe" => {
+                    self.machine.set_kv("fallback", value)?;
+                    self.machine.set_kv("max_read_lines", "0")?;
+                    self.machine.set_kv("max_write_lines", "0")?;
+                }
+                "bounded-set" => {
+                    self.machine.set_kv("fallback", "irrevocable")?;
+                    self.machine.set_kv("max_read_lines", "16")?;
+                    self.machine.set_kv("max_write_lines", "8")?;
+                }
+                other => return Err(format!("variant: unknown value '{other}'")),
+            },
             _ => {
                 if let Some(k) = key.strip_prefix("machine.") {
                     self.machine.set_kv(k, value)?;
@@ -749,7 +774,7 @@ fn json_str(s: &str) -> String {
 
 /// Names of the built-in sweeps, in presentation order.
 pub fn builtin_sweep_names() -> &'static [&'static str] {
-    &["pc-tags", "lock-tuning", "scaling", "serve"]
+    &["pc-tags", "lock-tuning", "scaling", "serve", "protocols"]
 }
 
 /// The built-in sweeps behind the paper's two headline sensitivity
@@ -770,6 +795,12 @@ pub fn builtin_sweep_names() -> &'static [&'static str] {
 ///   walks a `serve-flash-i<N>` interarrival ladder, open loop) × mode ×
 ///   core count. Contention metrics of the same grid the `serve` binary
 ///   reports latency percentiles for.
+/// * `protocols` — the protocol matrix: every workload × {HTM, Staggered}
+///   × execution variant (`irrevocable` baseline, `hybrid-stm` software
+///   fallback, `lazy-subscription-safe` hardware commit validation,
+///   `bounded-set` read/write-set-limited HTM). The deliberately unsafe
+///   `lazy-subscription` variant is excluded: its torn commits would trip
+///   workload validation (it lives in the regression tests instead).
 pub fn builtin_sweep(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
     match name {
         "pc-tags" => Some(SweepSpec {
@@ -822,6 +853,37 @@ pub fn builtin_sweep(name: &str, opts: &CommonOpts) -> Option<SweepSpec> {
                 ),
                 Axis::new("mode", &["HTM", "Staggered"]),
                 Axis::new("threads", &["16", "64"]),
+            ],
+        }),
+        "protocols" => Some(SweepSpec {
+            name: "protocols".to_string(),
+            base: RunSpec::from_opts(opts, "genome", Mode::Htm),
+            axes: vec![
+                Axis::new(
+                    "workload",
+                    &[
+                        "genome",
+                        "intruder",
+                        "kmeans",
+                        "labyrinth",
+                        "ssca2",
+                        "vacation",
+                        "list-lo",
+                        "list-hi",
+                        "tsp",
+                        "memcached",
+                    ],
+                ),
+                Axis::new("mode", &["HTM", "Staggered"]),
+                Axis::new(
+                    "variant",
+                    &[
+                        "irrevocable",
+                        "hybrid-stm",
+                        "lazy-subscription-safe",
+                        "bounded-set",
+                    ],
+                ),
             ],
         }),
         _ => None,
@@ -934,6 +996,47 @@ mod tests {
     }
 
     #[test]
+    fn variant_axis_expands_to_real_fields_only() {
+        let base = RunSpec::new("genome", Mode::Htm, 8, 42);
+        let base_key = base.run_key();
+        let mut s = base.clone();
+        s.set_field("variant", "bounded-set").unwrap();
+        assert_eq!(s.machine.max_read_lines, 16);
+        assert_eq!(s.machine.max_write_lines, 8);
+        assert!(
+            !s.canon().contains("variant"),
+            "synthetic key must never serialize"
+        );
+        assert_ne!(s.run_key(), base_key);
+        let mut h = base.clone();
+        h.set_field("variant", "hybrid-stm").unwrap();
+        assert_eq!(h.machine.fallback, htm_sim::FallbackPolicy::HybridStm);
+        assert_ne!(h.run_key(), s.run_key());
+        // Re-selecting the baseline restores the default spelling, so the
+        // run key collapses back to the pre-protocol-matrix one.
+        h.set_field("variant", "irrevocable").unwrap();
+        assert_eq!(h.run_key(), base_key);
+        assert!(base.clone().set_field("variant", "optimistic").is_err());
+    }
+
+    #[test]
+    fn fallback_spec_round_trips_and_forks_run_keys() {
+        let base = RunSpec::new("list-hi", Mode::Htm, 8, 42);
+        let mut keys = vec![base.run_key()];
+        for v in ["hybrid-stm", "lazy-subscription", "lazy-subscription-safe"] {
+            let mut s = base.clone();
+            s.set_field("machine.fallback", v).unwrap();
+            let back = RunSpec::parse(&s.canon()).unwrap();
+            assert_eq!(back.canon(), s.canon());
+            assert_eq!(back.machine.fallback, s.machine.fallback);
+            keys.push(s.run_key());
+        }
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "every policy names a distinct run");
+    }
+
+    #[test]
     fn builtin_sweeps_expand() {
         let opts = CommonOpts::default_for_tests();
         for &name in builtin_sweep_names() {
@@ -971,6 +1074,17 @@ mod tests {
         assert!(cells
             .iter()
             .all(|c| workloads::workload_by_name(&c.spec.workload, true).is_some()));
+        let protocols = builtin_sweep("protocols", &opts).unwrap();
+        let cells = protocols.cells().unwrap();
+        assert_eq!(cells.len(), 10 * 2 * 4);
+        assert!(cells
+            .iter()
+            .all(|c| workloads::workload_by_name(&c.spec.workload, true).is_some()));
+        // Each variant is a distinct spec (the bundle touched real fields).
+        let mut keys: Vec<String> = cells.iter().map(|c| c.spec.run_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 10 * 2 * 4);
         assert!(builtin_sweep("nope", &opts).is_none());
     }
 }

@@ -7,7 +7,7 @@
 //! may only differ in host-side mechanics (and host-side counters like
 //! [`htm_sim::SpecStats`]), never in what the simulated machine does.
 
-use htm_sim::{Machine, MachineConfig, ObsEvent, Scheduler};
+use htm_sim::{FallbackPolicy, Machine, MachineConfig, ObsEvent, Scheduler};
 use stagger_bench::workload_set;
 use stagger_core::{Mode, RuntimeConfig};
 use workloads::PreparedWorkload;
@@ -29,7 +29,20 @@ fn run_under(
     threads: usize,
     seed: u64,
 ) -> RunArtifacts {
-    let mut mcfg = MachineConfig::cores(threads);
+    run_cfg_under(p, scheduler, mode, threads, seed, |c| c)
+}
+
+/// Same, with a machine-config mutation applied before the run (how the
+/// protocol-matrix rows select their fallback/capacity variants).
+fn run_cfg_under(
+    p: &PreparedWorkload,
+    scheduler: Scheduler,
+    mode: Mode,
+    threads: usize,
+    seed: u64,
+    cfg: impl Fn(MachineConfig) -> MachineConfig,
+) -> RunArtifacts {
+    let mut mcfg = cfg(MachineConfig::cores(threads));
     mcfg.scheduler = scheduler;
     mcfg.record_trace = true;
     mcfg.record_events = true;
@@ -92,6 +105,41 @@ fn all_schedulers_are_bit_identical() {
             assert_identical(&coop, &thr, w.name(), mode, "threaded");
             let spec = run_under(&p, Scheduler::Speculative, mode, 4, 2015);
             assert_identical(&coop, &spec, w.name(), mode, "speculative");
+        }
+    }
+}
+
+/// The protocol matrix rides the same invariant: each fallback/capacity
+/// variant (instrumented hybrid software path, hardware commit-time lock
+/// validation, bounded read/write sets) must simulate byte-identically
+/// under all three schedulers. Two workloads keep the suite bounded:
+/// `list-hi` exercises heavy fallback traffic (bounded-set turns most of
+/// its transactions into capacity storms), `memcached` the low-contention
+/// fast path.
+#[test]
+fn protocol_variants_are_bit_identical_across_schedulers() {
+    type Variant = (&'static str, fn(MachineConfig) -> MachineConfig);
+    let variants: [Variant; 3] = [
+        ("hybrid-stm", |c| c.fallback(FallbackPolicy::HybridStm)),
+        ("lazy-subscription-safe", |c| {
+            c.fallback(FallbackPolicy::LazySubscriptionSafe)
+        }),
+        ("bounded-set", |c| c.bounded_sets(16, 8)),
+    ];
+    for w in workload_set(true) {
+        if w.name() != "list-hi" && w.name() != "memcached" {
+            continue;
+        }
+        let p = PreparedWorkload::new(w.as_ref());
+        for mode in [Mode::Htm, Mode::Staggered] {
+            for (variant, cfg) in variants {
+                let tag = format!("{} ({variant})", w.name());
+                let coop = run_cfg_under(&p, Scheduler::Cooperative, mode, 4, 2015, cfg);
+                let thr = run_cfg_under(&p, Scheduler::Threaded, mode, 4, 2015, cfg);
+                assert_identical(&coop, &thr, &tag, mode, "threaded");
+                let spec = run_cfg_under(&p, Scheduler::Speculative, mode, 4, 2015, cfg);
+                assert_identical(&coop, &spec, &tag, mode, "speculative");
+            }
         }
     }
 }

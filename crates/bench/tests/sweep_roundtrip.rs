@@ -44,6 +44,49 @@ fn run_spec_round_trips_through_text_to_identical_cycles() {
     assert_eq!(a.out.exec.committed_txns, b.out.exec.committed_txns);
 }
 
+/// The protocol-matrix fields ride the same contract: a spec carrying a
+/// non-default fallback policy or bounded read/write sets serializes,
+/// parses back, and the parsed spec simulates bit-identically. A default
+/// spec's canon omits the new keys entirely, so pre-protocol-matrix run
+/// keys — and every sweep-cache cell addressed by them — stay valid.
+#[test]
+fn fallback_and_capacity_fields_round_trip_through_runs() {
+    let mut base = RunSpec::new("ssca2", Mode::Htm, 4, 11);
+    base.quick = true;
+    let canon = base.canon();
+    assert!(
+        !canon.contains("fallback") && !canon.contains("max_read_lines"),
+        "defaults must not serialize — old run keys would shift"
+    );
+
+    for (key, value) in [
+        ("machine.fallback", "hybrid-stm"),
+        ("machine.fallback", "lazy-subscription-safe"),
+        ("variant", "bounded-set"),
+    ] {
+        let mut spec = base.clone();
+        spec.set_field(key, value).expect("protocol fields apply");
+        assert_ne!(
+            spec.run_key(),
+            base.run_key(),
+            "{key}={value} forks the run key"
+        );
+
+        let text = spec.canon();
+        let parsed = RunSpec::parse(&text).expect("canonical text parses");
+        assert_eq!(parsed.canon(), text, "canon is a fixed point");
+        assert_eq!(parsed.run_key(), spec.run_key());
+
+        let w = workloads::workload_by_name(&spec.workload, spec.quick).unwrap();
+        let p = PreparedWorkload::new(w.as_ref());
+        let a = spec.run(&p);
+        let b = parsed.run(&p);
+        assert_eq!(a.cycles(), b.cycles(), "parsed spec simulates identically");
+        assert_eq!(a.sim_insts(), b.sim_insts());
+        assert_eq!(a.out.exec.committed_txns, b.out.exec.committed_txns);
+    }
+}
+
 #[test]
 fn interrupted_sweep_resumes_to_byte_identical_tables() {
     let mut base = RunSpec::new("ssca2", Mode::Htm, 4, 11);

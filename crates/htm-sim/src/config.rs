@@ -36,6 +36,73 @@ impl HtmProtocol {
     }
 }
 
+/// What happens when a transaction exhausts its hardware retries (and
+/// how speculative transactions coordinate with that path). The paper
+/// evaluates only the irrevocable global-lock fallback; the alternatives
+/// come from the hybrid-TM literature (see DESIGN.md "Protocol matrix").
+///
+/// This used to be folded into the retry protocol itself; splitting it
+/// out of `HtmProtocol` keeps conflict *resolution* (eager/lazy)
+/// orthogonal to fallback *coordination*, so the two sweep independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// The paper's protocol: acquire a global lock, run irrevocably,
+    /// and have speculative transactions subscribe to the lock word
+    /// (transactionally) immediately before commit.
+    #[default]
+    Irrevocable,
+    /// Hybrid TM (Brown & Ravi): exhausted transactions retry on an
+    /// instrumented software path under per-line ownership stripes that
+    /// concurrent hardware transactions also check — charging the
+    /// instrumentation cost on every access of both paths while the
+    /// hybrid machinery is live, instead of stopping the world.
+    HybridStm,
+    /// Lazy subscription *without* the hardware fix (Dice et al.): the
+    /// executor never subscribes to the fallback lock, so a hardware
+    /// transaction can commit mid-irrevocable-section and observe a torn
+    /// result. Deliberately unsafe — exists to reproduce the documented
+    /// interleaving as a regression test. Never used in sweeps.
+    LazySubscription,
+    /// Lazy subscription with the Dice-et-al-style hardware fix: commit
+    /// itself validates the fallback lock word and aborts the
+    /// transaction (cause `SubscriptionValidation`) when the lock is
+    /// held, restoring opacity without begin-time subscription.
+    LazySubscriptionSafe,
+}
+
+impl FallbackPolicy {
+    /// Every policy, in canonical order.
+    pub const ALL: [FallbackPolicy; 4] = [
+        FallbackPolicy::Irrevocable,
+        FallbackPolicy::HybridStm,
+        FallbackPolicy::LazySubscription,
+        FallbackPolicy::LazySubscriptionSafe,
+    ];
+
+    /// Canonical name, stable across releases (used by experiment specs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackPolicy::Irrevocable => "irrevocable",
+            FallbackPolicy::HybridStm => "hybrid-stm",
+            FallbackPolicy::LazySubscription => "lazy-subscription",
+            FallbackPolicy::LazySubscriptionSafe => "lazy-subscription-safe",
+        }
+    }
+
+    /// Parse a policy by its canonical name, case-insensitively.
+    pub fn parse(s: &str) -> Option<FallbackPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "irrevocable" => Some(FallbackPolicy::Irrevocable),
+            "hybrid-stm" | "hybrid" => Some(FallbackPolicy::HybridStm),
+            "lazy-subscription" | "lazy-sub" => Some(FallbackPolicy::LazySubscription),
+            "lazy-subscription-safe" | "lazy-sub-safe" => {
+                Some(FallbackPolicy::LazySubscriptionSafe)
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Host-side driver for the simulated cores. All schedulers realize the
 /// same simulated semantics — ops execute in increasing (logical clock,
 /// core id) order — so results are bit-identical; they differ only in host
@@ -136,6 +203,18 @@ pub struct MachineConfig {
     pub pc_tag_bits: u32,
     /// Conflict-resolution protocol.
     pub protocol: HtmProtocol,
+    /// Fallback coordination policy for exhausted-retry transactions
+    /// (and the commit-time validation the hardware performs on their
+    /// behalf). Orthogonal to `protocol`. Default: the paper's
+    /// irrevocable global-lock path.
+    pub fallback: FallbackPolicy,
+    /// Bounded-set HTM (Kafousis): maximum distinct lines one hardware
+    /// transaction attempt may *touch* (read or write) before the next
+    /// new line aborts it with a capacity cause. 0 (default) leaves the
+    /// cache-geometry capacity model as the only bound.
+    pub max_read_lines: usize,
+    /// Maximum distinct lines one attempt may *write*; 0 disables.
+    pub max_write_lines: usize,
     /// Record per-core transaction begin/commit/abort events with their
     /// logical timestamps (for the timeline renderer in [`crate::trace`]).
     pub record_trace: bool,
@@ -208,6 +287,9 @@ impl Default for MachineConfig {
             arena_chunk_words: 8192,
             pc_tag_bits: 12,
             protocol: HtmProtocol::Eager,
+            fallback: FallbackPolicy::Irrevocable,
+            max_read_lines: 0,
+            max_write_lines: 0,
             record_trace: false,
             record_events: false,
             event_ring_capacity: 1 << 20,
@@ -257,6 +339,20 @@ impl MachineConfig {
     /// Select the conflict-resolution protocol.
     pub fn protocol(mut self, p: HtmProtocol) -> Self {
         self.protocol = p;
+        self
+    }
+
+    /// Select the fallback coordination policy.
+    pub fn fallback(mut self, f: FallbackPolicy) -> Self {
+        self.fallback = f;
+        self
+    }
+
+    /// Bound the distinct lines a transaction attempt may touch / write
+    /// (bounded-set HTM; 0 disables either bound).
+    pub fn bounded_sets(mut self, max_read_lines: usize, max_write_lines: usize) -> Self {
+        self.max_read_lines = max_read_lines;
+        self.max_write_lines = max_write_lines;
         self
     }
 
@@ -313,8 +409,14 @@ impl MachineConfig {
     /// Serialize every knob as canonical `(key, value)` pairs, in a fixed
     /// order. The inverse of [`Self::set_kv`]; experiment specs embed
     /// these under a `machine.` prefix.
+    ///
+    /// Keys added after the sweep cache shipped (`fallback`,
+    /// `max_read_lines`, `max_write_lines`) are emitted only when they
+    /// deviate from their defaults, so every pre-existing spec
+    /// serializes to the same canonical text (and the same run key) it
+    /// always did — absent means default.
     pub fn to_kv(&self) -> Vec<(&'static str, String)> {
-        vec![
+        let mut kv = vec![
             ("n_cores", self.n_cores.to_string()),
             ("mem_words", self.mem_words.to_string()),
             ("l1_latency", self.l1_latency.to_string()),
@@ -338,7 +440,17 @@ impl MachineConfig {
             ("record_events", self.record_events.to_string()),
             ("event_ring_capacity", self.event_ring_capacity.to_string()),
             ("scheduler", self.scheduler.name().to_string()),
-        ]
+        ];
+        if self.fallback != FallbackPolicy::Irrevocable {
+            kv.push(("fallback", self.fallback.name().to_string()));
+        }
+        if self.max_read_lines != 0 {
+            kv.push(("max_read_lines", self.max_read_lines.to_string()));
+        }
+        if self.max_write_lines != 0 {
+            kv.push(("max_write_lines", self.max_write_lines.to_string()));
+        }
+        kv
     }
 
     /// Set one knob by its canonical key. Setting `scheduler` pins it
@@ -373,6 +485,12 @@ impl MachineConfig {
                 self.protocol = HtmProtocol::parse(value)
                     .ok_or_else(|| format!("machine.protocol: invalid value '{value}'"))?;
             }
+            "fallback" => {
+                self.fallback = FallbackPolicy::parse(value)
+                    .ok_or_else(|| format!("machine.fallback: invalid value '{value}'"))?;
+            }
+            "max_read_lines" => self.max_read_lines = num(key, value)?,
+            "max_write_lines" => self.max_write_lines = num(key, value)?,
             "record_trace" => self.record_trace = num(key, value)?,
             "record_events" => self.record_events = num(key, value)?,
             "event_ring_capacity" => self.event_ring_capacity = num(key, value)?,
@@ -462,7 +580,9 @@ mod tests {
             .small()
             .lazy()
             .pc_tag_bits(9)
-            .scheduler(Scheduler::Threaded);
+            .scheduler(Scheduler::Threaded)
+            .fallback(FallbackPolicy::HybridStm)
+            .bounded_sets(16, 8);
         let mut d = MachineConfig::default();
         for (k, v) in c.to_kv() {
             d.set_kv(k, &v).unwrap();
@@ -472,11 +592,35 @@ mod tests {
     }
 
     #[test]
+    fn default_fallback_and_bounds_stay_out_of_the_kv() {
+        // Pre-existing specs must keep serializing to the exact canonical
+        // text (and hence run key) they had before the fallback/bounded-set
+        // knobs existed: the new keys only appear when non-default.
+        let kv = MachineConfig::cores(2).to_kv();
+        assert!(kv.iter().all(|(k, _)| {
+            *k != "fallback" && *k != "max_read_lines" && *k != "max_write_lines"
+        }));
+        // But parsing them back in is always accepted.
+        let mut c = MachineConfig::default();
+        c.set_kv("fallback", "lazy-subscription-safe").unwrap();
+        c.set_kv("max_read_lines", "16").unwrap();
+        c.set_kv("max_write_lines", "8").unwrap();
+        assert_eq!(c.fallback, FallbackPolicy::LazySubscriptionSafe);
+        assert_eq!((c.max_read_lines, c.max_write_lines), (16, 8));
+        let kv = c.to_kv();
+        assert!(kv
+            .iter()
+            .any(|(k, v)| *k == "fallback" && v == "lazy-subscription-safe"));
+    }
+
+    #[test]
     fn kv_rejects_unknown_and_bad_values() {
         let mut c = MachineConfig::default();
         assert!(c.set_kv("no_such_knob", "1").is_err());
         assert!(c.set_kv("pc_tag_bits", "wide").is_err());
         assert!(c.set_kv("protocol", "psychic").is_err());
+        assert!(c.set_kv("fallback", "optimism").is_err());
+        assert!(c.set_kv("max_read_lines", "many").is_err());
         assert!(c.set_kv("scheduler", "gpu").is_err());
         assert!(
             c.set_kv("perm_cache_lines", "64").is_err(),
@@ -514,6 +658,14 @@ mod tests {
         for p in [HtmProtocol::Eager, HtmProtocol::Lazy] {
             assert_eq!(HtmProtocol::parse(p.name()), Some(p));
         }
+        for f in FallbackPolicy::ALL {
+            assert_eq!(FallbackPolicy::parse(f.name()), Some(f));
+        }
+        assert_eq!(
+            FallbackPolicy::parse("HYBRID"),
+            Some(FallbackPolicy::HybridStm)
+        );
+        assert_eq!(FallbackPolicy::parse("pessimism"), None);
         for s in [
             Scheduler::Cooperative,
             Scheduler::Threaded,

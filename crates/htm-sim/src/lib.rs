@@ -51,7 +51,7 @@ pub mod stats;
 pub mod trace;
 
 pub use addr::{line_addr, line_of, Addr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
-pub use config::{HtmProtocol, MachineConfig, Scheduler};
+pub use config::{FallbackPolicy, HtmProtocol, MachineConfig, Scheduler};
 pub use coreset::MAX_CORES;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use latency::{

@@ -598,6 +598,14 @@ impl Machine {
     pub fn host_store(&self, addr: Addr, val: u64) {
         self.shared.lock().host_store(addr, val)
     }
+
+    /// Register the fallback lock word that hardware commits validate
+    /// under [`crate::FallbackPolicy::LazySubscriptionSafe`] (the
+    /// Dice-et-al-style fix). Host-side setup, no simulated cycles;
+    /// called by the runtime before threads start.
+    pub fn register_commit_lock(&self, addr: Addr) {
+        self.shared.lock().register_commit_lock(addr)
+    }
 }
 
 /// Handle through which one simulated core issues operations. Owned by the

@@ -38,7 +38,10 @@
 //! {"core":0,"clock":7600,"kind":"irrevocable_exit","cycles":5000}
 //! ```
 //!
-//! `cause` is one of `"conflict" | "capacity" | "explicit"`; for
+//! `cause` is one of `"conflict" | "capacity" | "explicit" |
+//! "subscription"` (`"subscription"` — commit-time fallback-lock
+//! validation under the safe lazy-subscription policy — was added with
+//! the protocol matrix; every pre-existing field is unchanged); for
 //! non-conflict aborts `conf_addr` and both PC tags are 0 and `aborter`
 //! is the core's own id. PC tags are the hardware's 12-bit truncation.
 //! Duration-carrying events (`lock_acquire`/`lock_timeout` `waited`,
@@ -309,6 +312,9 @@ pub struct AbortBreakdown {
     pub conflict: u64,
     pub capacity: u64,
     pub explicit: u64,
+    /// Commit-time fallback-lock validation aborts (safe lazy
+    /// subscription).
+    pub subscription: u64,
 }
 
 impl AbortBreakdown {
@@ -322,6 +328,7 @@ impl AbortBreakdown {
                         AbortCause::Conflict => b.conflict += 1,
                         AbortCause::Capacity => b.capacity += 1,
                         AbortCause::Explicit => b.explicit += 1,
+                        AbortCause::SubscriptionValidation => b.subscription += 1,
                     },
                     _ => {}
                 }
@@ -331,7 +338,7 @@ impl AbortBreakdown {
     }
 
     pub fn aborts(&self) -> u64 {
-        self.conflict + self.capacity + self.explicit
+        self.conflict + self.capacity + self.explicit + self.subscription
     }
 }
 
@@ -340,6 +347,7 @@ fn cause_str(c: AbortCause) -> &'static str {
         AbortCause::Conflict => "conflict",
         AbortCause::Capacity => "capacity",
         AbortCause::Explicit => "explicit",
+        AbortCause::SubscriptionValidation => "subscription",
     }
 }
 

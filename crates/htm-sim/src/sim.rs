@@ -8,7 +8,7 @@
 use crate::addr::WORDS_PER_LINE;
 use crate::addr::{line_of, word_index, Addr, LINE_BYTES, WORD_BYTES};
 use crate::cache::CacheArray;
-use crate::config::{HtmProtocol, MachineConfig};
+use crate::config::{FallbackPolicy, HtmProtocol, MachineConfig};
 use crate::coreset::{CoreSet, MAX_CORES};
 use crate::obs::{EventRing, ObsEvent, ObsKind};
 use crate::sched::{LazyMinHeap, SchedStats};
@@ -19,10 +19,16 @@ use crate::stats::CoreStats;
 pub enum AbortCause {
     /// Data conflict with another core (requester-wins: we were the victim).
     Conflict,
-    /// Speculative footprint overflowed an L1 set's ways.
+    /// Speculative footprint overflowed an L1 set's ways, or crossed a
+    /// configured bounded-set limit (`max_read_lines`/`max_write_lines`).
     Capacity,
     /// Self-initiated abort (e.g., global-lock subscription at commit).
     Explicit,
+    /// Commit-time hardware validation of the fallback lock word failed
+    /// (the Dice-et-al-style fix under
+    /// [`crate::config::FallbackPolicy::LazySubscriptionSafe`]): the lock
+    /// was held at commit, so the transaction must not become visible.
+    SubscriptionValidation,
 }
 
 /// What the hardware reports on abort — the paper's "%rbx" payload: the
@@ -209,6 +215,34 @@ impl TxState {
             Err(i) => self.write_buffer.insert(i, (addr, val)),
         }
     }
+
+    /// Distinct lines this attempt has written.
+    pub(crate) fn written_lines(&self) -> usize {
+        self.lines.iter().filter(|e| e.written).count()
+    }
+}
+
+/// Bounded-set HTM check (Kafousis): would an access of `line` (write when
+/// `write`) push the attempt past `max_read_lines` (distinct touched lines)
+/// or `max_write_lines` (distinct written lines)? Zero-cost when both knobs
+/// are 0, the default. An access to a line whose permission the attempt
+/// already holds can never trip a bound (the line is already counted), which
+/// is why the permission-cache fast paths legitimately skip this check.
+/// Shared with the speculative overlay so predictions stay faithful.
+pub(crate) fn bound_exceeded(cfg: &MachineConfig, tx: &TxState, line: u64, write: bool) -> bool {
+    if cfg.max_read_lines == 0 && cfg.max_write_lines == 0 {
+        return false;
+    }
+    let write_bound = |tx: &TxState| {
+        write && cfg.max_write_lines != 0 && tx.written_lines() >= cfg.max_write_lines
+    };
+    match tx.find(line) {
+        // Known line: only a read→write upgrade can add a written line.
+        Ok(i) => !tx.lines[i].written && write_bound(tx),
+        Err(_) => {
+            (cfg.max_read_lines != 0 && tx.lines.len() >= cfg.max_read_lines) || write_bound(tx)
+        }
+    }
 }
 
 /// One recorded scheduling event (when `record_trace` is on).
@@ -296,6 +330,11 @@ pub(crate) struct SimState {
     /// scan. The threaded driver never reads it (its cores advance
     /// concurrently between gates, which would stale the cached pair).
     pub horizon: (u64, usize),
+    /// Fallback lock word the hardware validates at commit under
+    /// [`FallbackPolicy::LazySubscriptionSafe`] (the Dice-et-al-style
+    /// fix): registered host-side by the runtime before threads start,
+    /// `None` otherwise.
+    pub(crate) commit_lock_addr: Option<Addr>,
     /// Indexed min-(clock, id) structure backing [`SimState::schedule`].
     /// Holds one (lazily repaired) entry per live core; sound because
     /// clocks only increase and cores only retire.
@@ -343,6 +382,7 @@ impl SimState {
                 cfg.perm_cache_lines.next_power_of_two()
             },
             horizon: (u64::MAX, usize::MAX),
+            commit_lock_addr: None,
             sched: LazyMinHeap::new(cfg.n_cores),
             sched_stats: SchedStats::default(),
             cfg,
@@ -630,6 +670,19 @@ impl SimState {
         }
     }
 
+    /// [`bound_exceeded`] against `tid`'s active transaction.
+    fn set_bound_exceeded(&self, tid: usize, line: u64, write: bool) -> bool {
+        let tx = self.cores[tid].tx.as_ref().expect("bound check outside tx");
+        bound_exceeded(&self.cfg, tx, line, write)
+    }
+
+    /// Register the fallback lock word that commits validate under
+    /// [`FallbackPolicy::LazySubscriptionSafe`]. Host-side (no cycles);
+    /// called by the runtime during setup.
+    pub fn register_commit_lock(&mut self, addr: Addr) {
+        self.commit_lock_addr = Some(addr);
+    }
+
     /// Begin a hardware transaction on `tid`.
     pub fn tx_begin(&mut self, tid: usize, ab_id: u32) -> u64 {
         self.record(tid, TraceKind::Begin(ab_id));
@@ -696,6 +749,9 @@ impl SimState {
             );
         }
         assert!(self.tx_active(tid), "tx_load outside transaction");
+        if self.set_bound_exceeded(tid, line, false) {
+            return (Err(self.self_abort(tid, AbortCause::Capacity)), 0);
+        }
         if self.cfg.protocol == HtmProtocol::Eager {
             // Eager: a read request aborts any remote speculative writer.
             self.resolve_conflicts(tid, addr, false, pc);
@@ -765,6 +821,9 @@ impl SimState {
             return (Ok(()), self.cfg.l1_latency);
         }
         assert!(self.tx_active(tid), "tx_store outside transaction");
+        if self.set_bound_exceeded(tid, line, true) {
+            return (Err(self.self_abort(tid, AbortCause::Capacity)), 0);
+        }
         if eager {
             self.resolve_conflicts(tid, addr, true, pc);
         }
@@ -804,6 +863,7 @@ impl SimState {
         match cause {
             AbortCause::Capacity => core.stats.capacity_aborts += 1,
             AbortCause::Explicit => core.stats.explicit_aborts += 1,
+            AbortCause::SubscriptionValidation => core.stats.subscription_aborts += 1,
             AbortCause::Conflict => unreachable!("conflict aborts come from doom()"),
         }
         if !tx.rolled_back {
@@ -838,6 +898,22 @@ impl SimState {
     pub fn tx_commit(&mut self, tid: usize) -> (Result<(), TxError>, u64) {
         if let Err(e) = self.check_doomed(tid) {
             return (Err(e), 0);
+        }
+        // Dice-et-al-style hardware fix for lazy subscription: commit
+        // itself validates the registered fallback lock word, so a
+        // transaction that raced an irrevocable section can never become
+        // visible even though it skipped begin-time subscription. The probe
+        // rides inside the commit microcode (no extra memory-op latency)
+        // and never joins the read set.
+        if self.cfg.fallback == FallbackPolicy::LazySubscriptionSafe {
+            if let Some(lock) = self.commit_lock_addr {
+                if self.read_word(lock) != 0 {
+                    return (
+                        Err(self.self_abort(tid, AbortCause::SubscriptionValidation)),
+                        0,
+                    );
+                }
+            }
         }
         let mut commit_cost = self.cfg.tx_commit_cost;
         if self.cfg.protocol == HtmProtocol::Lazy {
@@ -1371,6 +1447,66 @@ mod tests {
         for t in 0..3 {
             s.tx_commit(t).0.unwrap();
         }
+    }
+
+    #[test]
+    fn bounded_read_set_aborts_with_capacity_cause() {
+        let mut cfg = MachineConfig::cores(1).small();
+        cfg.max_read_lines = 2;
+        let mut s = SimState::new(cfg);
+        let base = s.host_alloc(8 * 64, true);
+        s.tx_begin(0, 1);
+        s.tx_load(0, base, 0x100).0.unwrap();
+        s.tx_load(0, base + LINE_BYTES, 0x104).0.unwrap();
+        // Re-touching a counted line is free...
+        s.tx_load(0, base, 0x108).0.unwrap();
+        // ...but a third distinct line crosses the bound.
+        let err = s.tx_load(0, base + 2 * LINE_BYTES, 0x10C).0.unwrap_err();
+        assert_eq!(err.info().cause, AbortCause::Capacity);
+        assert_eq!(s.cores[0].stats.capacity_aborts, 1);
+        assert!(s.owners_empty());
+    }
+
+    #[test]
+    fn bounded_write_set_counts_only_written_lines() {
+        let mut cfg = MachineConfig::cores(1).small();
+        cfg.max_write_lines = 1;
+        let mut s = SimState::new(cfg);
+        let base = s.host_alloc(8 * 64, true);
+        s.tx_begin(0, 1);
+        // Reads are unbounded here; one written line is fine.
+        s.tx_load(0, base, 0x100).0.unwrap();
+        s.tx_store(0, base + LINE_BYTES, 1, 0x104).0.unwrap();
+        s.tx_store(0, base + LINE_BYTES + 8, 2, 0x108).0.unwrap();
+        // Upgrading the read line to written would be a second written line.
+        let err = s.tx_store(0, base, 3, 0x10C).0.unwrap_err();
+        assert_eq!(err.info().cause, AbortCause::Capacity);
+        assert_eq!(s.cores[0].stats.capacity_aborts, 1);
+    }
+
+    #[test]
+    fn safe_lazy_subscription_validates_lock_at_commit() {
+        let mut cfg = MachineConfig::cores(1).small();
+        cfg.fallback = FallbackPolicy::LazySubscriptionSafe;
+        let mut s = SimState::new(cfg);
+        let lock = s.host_alloc(8, true);
+        let a = s.host_alloc(8, true);
+        s.register_commit_lock(lock);
+        // Lock held at commit: the hardware validation aborts us.
+        s.host_store(lock, 1);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 7, 0x100).0.unwrap();
+        let err = s.tx_commit(0).0.unwrap_err();
+        assert_eq!(err.info().cause, AbortCause::SubscriptionValidation);
+        assert_eq!(s.cores[0].stats.subscription_aborts, 1);
+        assert_eq!(s.host_load(a), 0, "aborted write rolled back");
+        // Lock free: commit proceeds.
+        s.host_store(lock, 0);
+        s.tx_begin(0, 1);
+        s.tx_store(0, a, 7, 0x100).0.unwrap();
+        s.tx_commit(0).0.unwrap();
+        assert_eq!(s.host_load(a), 7);
+        assert!(s.owners_empty());
     }
 
     #[test]

@@ -24,12 +24,13 @@ use std::task::{Context, Poll, Waker};
 
 use crate::addr::{line_of, word_index, LINE_BYTES, WORD_BYTES};
 use crate::cache::CacheArray;
-use crate::config::HtmProtocol;
+use crate::config::{FallbackPolicy, HtmProtocol};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::obs::ObsKind;
 use crate::sched::LazyMinHeap;
 use crate::sim::{
-    apply_op, AbortCause, AbortInfo, Doomed, Op, OpResult, Owners, SimState, TxError, TxState,
+    apply_op, bound_exceeded, AbortCause, AbortInfo, Doomed, Op, OpResult, Owners, SimState,
+    TxError, TxState,
 };
 use crate::stats::SpecStats;
 
@@ -724,6 +725,12 @@ impl SpecView {
                 base.cfg.l1_latency,
             );
         }
+        {
+            let tx = self.tx.as_ref().expect("tx_load outside transaction");
+            if bound_exceeded(&base.cfg, tx, line, false) {
+                return (Err(self.self_abort(base, AbortCause::Capacity)), 0);
+            }
+        }
         if base.cfg.protocol == HtmProtocol::Eager {
             self.resolve_conflicts(base, addr, false);
         }
@@ -777,6 +784,12 @@ impl SpecView {
             }
             return (Ok(()), base.cfg.l1_latency);
         }
+        {
+            let tx = self.tx.as_ref().expect("tx_store outside transaction");
+            if bound_exceeded(&base.cfg, tx, line, true) {
+                return (Err(self.self_abort(base, AbortCause::Capacity)), 0);
+            }
+        }
         if eager {
             self.resolve_conflicts(base, addr, true);
         }
@@ -805,6 +818,19 @@ impl SpecView {
     fn tx_commit(&mut self, base: &SimState) -> (Result<(), TxError>, u64) {
         if let Err(e) = self.check_doomed(base) {
             return (Err(e), 0);
+        }
+        // Mirror the commit-time fallback-lock validation of the safe
+        // lazy-subscription policy (prediction only — the authoritative
+        // re-execution decides).
+        if base.cfg.fallback == FallbackPolicy::LazySubscriptionSafe {
+            if let Some(lock) = base.commit_lock_addr {
+                if self.read_word(base, lock) != 0 {
+                    return (
+                        Err(self.self_abort(base, AbortCause::SubscriptionValidation)),
+                        0,
+                    );
+                }
+            }
         }
         let mut commit_cost = base.cfg.tx_commit_cost;
         if base.cfg.protocol == HtmProtocol::Lazy {

@@ -12,6 +12,9 @@ pub struct CoreStats {
     pub capacity_aborts: u64,
     /// Explicit self-aborts (e.g., global-lock subscription failure).
     pub explicit_aborts: u64,
+    /// Commit-time fallback-lock validation aborts (safe lazy
+    /// subscription; see `AbortCause::SubscriptionValidation`).
+    pub subscription_aborts: u64,
     /// Transactions that gave up and ran irrevocably under the global lock.
     pub irrevocable_commits: u64,
     /// Cycles spent inside transaction attempts that committed.
@@ -40,7 +43,10 @@ pub struct CoreStats {
 impl CoreStats {
     /// Total aborts of any cause.
     pub fn aborts(&self) -> u64 {
-        self.conflict_aborts + self.capacity_aborts + self.explicit_aborts
+        self.conflict_aborts
+            + self.capacity_aborts
+            + self.explicit_aborts
+            + self.subscription_aborts
     }
 
     fn add(&mut self, o: &CoreStats) {
@@ -48,6 +54,7 @@ impl CoreStats {
         self.conflict_aborts += o.conflict_aborts;
         self.capacity_aborts += o.capacity_aborts;
         self.explicit_aborts += o.explicit_aborts;
+        self.subscription_aborts += o.subscription_aborts;
         self.irrevocable_commits += o.irrevocable_commits;
         self.useful_tx_cycles += o.useful_tx_cycles;
         self.wasted_tx_cycles += o.wasted_tx_cycles;

@@ -4,7 +4,7 @@ use crate::context::{ABContext, Activation};
 use crate::locks::{GlobalLock, LockTable};
 use crate::policy::{activate_alpoint, PolicyConfig};
 use htm_sim::fx::FxHashMap;
-use htm_sim::{line_of, AbortInfo, Addr, Core, Machine};
+use htm_sim::{line_of, AbortInfo, Addr, Core, FallbackPolicy, Machine};
 use stagger_compiler::Compiled;
 
 /// Execution modes compared in the paper's Figure 7.
@@ -210,19 +210,40 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Machine-wide runtime structures shared (by value — both are handles to
+/// Machine-wide runtime structures shared (by value — all are handles to
 /// simulated memory) across all thread runtimes.
 #[derive(Debug, Clone, Copy)]
 pub struct SharedRt {
     pub locks: LockTable,
     pub global: GlobalLock,
+    /// Exhausted-retry fallback policy, captured from the machine
+    /// configuration at creation (it is a hardware-level property: the safe
+    /// lazy-subscription variant needs commit-time validation support in
+    /// the simulated HTM).
+    pub fallback: FallbackPolicy,
+    /// Per-line ownership stripes for the hybrid-TM software fallback.
+    /// Allocated only under [`FallbackPolicy::HybridStm`]: an unconditional
+    /// allocation would shift every later simulated address and perturb
+    /// seeded default-policy results.
+    pub hybrid: Option<LockTable>,
 }
 
 impl SharedRt {
     pub fn new(machine: &Machine, cfg: &RuntimeConfig) -> SharedRt {
+        let fallback = machine.config().fallback;
+        let locks = LockTable::new(machine, cfg.n_locks);
+        let global = GlobalLock::new(machine);
+        let hybrid =
+            (fallback == FallbackPolicy::HybridStm).then(|| LockTable::new(machine, cfg.n_locks));
+        if fallback == FallbackPolicy::LazySubscriptionSafe {
+            // Tell the simulated hardware which word commits must validate.
+            machine.register_commit_lock(global.addr());
+        }
         SharedRt {
-            locks: LockTable::new(machine, cfg.n_locks),
-            global: GlobalLock::new(machine),
+            locks,
+            global,
+            fallback,
+            hybrid,
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::bytecode::{BytecodeFunc, OpCode, BIN_OPS, CMP_OPS, NO_REG};
 use crate::prepared::{Prepared, PreparedFunc};
-use htm_sim::{AbortCause, Addr, Core, TxError};
+use htm_sim::{AbortCause, Addr, Core, FallbackPolicy, TxError};
 use stagger_core::{Interp, RuntimeConfig, SharedRt, ThreadRuntime};
 use std::future::Future;
 use std::pin::Pin;
@@ -14,6 +14,10 @@ use tm_ir::{FuncId, FuncKind, Inst};
 /// Odd on purpose: real instruction PCs are 4-byte aligned, so the 12-bit
 /// tag `1` can never alias a table entry.
 const GLOBAL_LOCK_SUB_PC: u64 = 1;
+
+/// Sentinel "PC" for the hybrid-TM per-access ownership-stripe read (odd
+/// for the same non-aliasing reason as [`GLOBAL_LOCK_SUB_PC`]).
+const HYBRID_STRIPE_SUB_PC: u64 = 3;
 
 /// Dynamic execution statistics of one thread (Table 3's "Dynamic Stats").
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -69,6 +73,12 @@ pub struct Executor<'c> {
     pub stats: ExecStats,
     attempt_insts: u64,
     attempt_anchors: u64,
+    /// True while executing the hybrid-TM *software* fallback path: plain
+    /// memory accesses then go through the per-line ownership-stripe
+    /// instrumentation instead of raw coherence ops.
+    sw_fallback: bool,
+    /// Ownership-stripe words held by the current software fallback.
+    sw_stripes: Vec<Addr>,
 }
 
 impl<'c> Executor<'c> {
@@ -90,6 +100,8 @@ impl<'c> Executor<'c> {
             stats: ExecStats::default(),
             attempt_insts: 0,
             attempt_anchors: 0,
+            sw_fallback: false,
+            sw_stripes: Vec::new(),
         }
     }
 
@@ -134,11 +146,15 @@ impl<'c> Executor<'c> {
     ) -> Pin<Box<dyn Future<Output = u64> + Send + 'a>> {
         Box::pin(async move {
             let gl = self.rt.global_lock();
+            let fallback = self.rt.shared().fallback;
             let spin = self.rt.cfg.lock_spin;
             let max_retries = self.rt.cfg.max_retries;
             let mut attempt: u32 = 0;
             loop {
                 if attempt >= max_retries {
+                    if fallback == FallbackPolicy::HybridStm {
+                        return self.run_sw_fallback(core, prepared, fid, args).await;
+                    }
                     // Irrevocable mode: acquire the global lock and run
                     // non-speculatively. Plain stores doom any racing
                     // speculative readers/writers (requester wins).
@@ -177,8 +193,20 @@ impl<'c> Executor<'c> {
                     Ok(v) => {
                         // Subscribe to the global lock immediately before
                         // commit: its line joins our read set, so a racing
-                        // irrevocable acquisition dooms us.
-                        match core.tx_load(gl.addr(), GLOBAL_LOCK_SUB_PC).await {
+                        // irrevocable acquisition dooms us. The two
+                        // lazy-subscription policies elide this read — the
+                        // unsafe one relies on nothing else (and can commit
+                        // torn views of an in-flight fallback writer), the
+                        // safe one on the hardware's commit-time validation
+                        // of the registered lock word. Hybrid mode has no
+                        // stop-the-world writer to subscribe to; safety
+                        // comes from the per-access stripe reads instead.
+                        let sub = if fallback == FallbackPolicy::Irrevocable {
+                            core.tx_load(gl.addr(), GLOBAL_LOCK_SUB_PC).await
+                        } else {
+                            Ok(0)
+                        };
+                        match sub {
                             Ok(0) => match core.tx_commit().await {
                                 Ok(()) => {
                                     self.rt.on_commit(core, ab_id, attempt).await;
@@ -210,12 +238,84 @@ impl<'c> Executor<'c> {
         })
     }
 
+    /// The hybrid-TM software fallback (Brown & Ravi style): instead of
+    /// stopping the world under the global lock, run an *instrumented*
+    /// software path whose per-line ownership stripes are visible to
+    /// concurrent hardware transactions. The global lock is reused purely
+    /// as a software-software mutex (stripe acquisition order is the
+    /// execution's encounter order, so two concurrent software
+    /// transactions could deadlock without it); hardware transactions do
+    /// NOT subscribe to it in this mode and keep committing throughout,
+    /// except where they touch a line whose stripe the software
+    /// transaction owns.
+    fn run_sw_fallback<'a, 'm>(
+        &'a mut self,
+        core: &'a mut Core<'m>,
+        prepared: &'a Prepared,
+        fid: FuncId,
+        args: &'a [u64],
+    ) -> Pin<Box<dyn Future<Output = u64> + Send + 'a>> {
+        Box::pin(async move {
+            let gl = self.rt.global_lock();
+            let spin = self.rt.cfg.lock_spin;
+            gl.acquire(core, spin).await;
+            let t0 = core.now();
+            core.note(htm_sim::obs::ObsKind::IrrevocableEnter);
+            self.sw_fallback = true;
+            let r = self
+                .exec_function(core, prepared, fid, args, None)
+                .await
+                .expect("software fallback cannot abort");
+            self.sw_fallback = false;
+            // Releasing the stripes publishes the commit; the window below
+            // therefore includes them, like the irrevocable path's stores.
+            while let Some(w) = self.sw_stripes.pop() {
+                core.nt_store(w, 0).await;
+            }
+            let dt = core.now().saturating_sub(t0);
+            core.note(htm_sim::obs::ObsKind::IrrevocableExit { cycles: dt });
+            gl.release(core).await;
+            // Software-path completions share the irrevocable counters
+            // ("fallback commits"): same role in aborts-per-commit and the
+            // %I fraction, and sweep cell schemas stay unchanged.
+            core.record_irrevocable(dt).await;
+            self.stats.irrevocable_txns += 1;
+            r
+        })
+    }
+
+    /// Per-access instrumentation of the software fallback: read the
+    /// line's ownership stripe and claim it on first touch. The claiming
+    /// `nt_cas` is a real coherence write, so it dooms every hardware
+    /// transaction whose read set holds this stripe. Under the
+    /// software-software mutex the stripe is only ever free or ours, but
+    /// the charged check-then-claim per access is the point — it is the
+    /// hybrid instrumentation cost.
+    async fn sw_own(&mut self, core: &mut Core<'_>, addr: Addr) {
+        let stripes = self
+            .rt
+            .shared()
+            .hybrid
+            .expect("software fallback without a stripe table");
+        let word = stripes.lock_addr_for(addr);
+        let me = core.tid() as u64 + 1;
+        if core.nt_load(word).await != me {
+            let spin = self.rt.cfg.lock_spin;
+            while !core.nt_cas(word, 0, me).await {
+                core.charge_lock_wait(spin).await;
+            }
+            self.sw_stripes.push(word);
+        }
+    }
+
     async fn handle_abort(&mut self, core: &mut Core<'_>, ab_id: u32, e: TxError, attempt: u32) {
         self.stats.aborted_attempts += 1;
         let info = e.info();
         match info.cause {
             AbortCause::Conflict => self.rt.on_conflict_abort(core, ab_id, &info, attempt).await,
-            AbortCause::Capacity | AbortCause::Explicit => self.rt.on_other_abort(core).await,
+            AbortCause::Capacity | AbortCause::Explicit | AbortCause::SubscriptionValidation => {
+                self.rt.on_other_abort(core).await
+            }
         }
         self.rt.backoff(core, attempt).await;
         // Part of the polite retry policy: if an irrevocable transaction is
@@ -637,6 +737,20 @@ impl<'c> Executor<'c> {
         base.wrapping_add(index.wrapping_add(offset as u64) * 8)
     }
 
+    /// Hybrid-mode instrumentation of a *hardware* transactional access:
+    /// transactionally read the line's ownership stripe — it joins the
+    /// read set, so a software fallback's claiming CAS dooms us — and
+    /// self-abort if a software transaction owns the line right now.
+    async fn hw_stripe_check(&mut self, core: &mut Core<'_>, addr: Addr) -> Result<(), TxError> {
+        if let Some(stripes) = self.rt.shared().hybrid {
+            let word = stripes.lock_addr_for(addr);
+            if core.tx_load(word, HYBRID_STRIPE_SUB_PC).await? != 0 {
+                return Err(core.tx_abort().await);
+            }
+        }
+        Ok(())
+    }
+
     async fn mem_load(
         &mut self,
         core: &mut Core<'_>,
@@ -645,8 +759,16 @@ impl<'c> Executor<'c> {
         tx: Option<u32>,
     ) -> Result<u64, TxError> {
         match tx {
-            Some(_) => core.tx_load(addr, pc).await,
-            None => Ok(core.plain_load(addr).await),
+            Some(_) => {
+                self.hw_stripe_check(core, addr).await?;
+                core.tx_load(addr, pc).await
+            }
+            None => {
+                if self.sw_fallback {
+                    self.sw_own(core, addr).await;
+                }
+                Ok(core.plain_load(addr).await)
+            }
         }
     }
 
@@ -659,8 +781,14 @@ impl<'c> Executor<'c> {
         tx: Option<u32>,
     ) -> Result<(), TxError> {
         match tx {
-            Some(_) => core.tx_store(addr, val, pc).await,
+            Some(_) => {
+                self.hw_stripe_check(core, addr).await?;
+                core.tx_store(addr, val, pc).await
+            }
             None => {
+                if self.sw_fallback {
+                    self.sw_own(core, addr).await;
+                }
                 core.plain_store(addr, val).await;
                 Ok(())
             }

@@ -237,11 +237,12 @@ mod tests {
         );
     }
 
-    #[test]
-    fn capacity_overflow_falls_back_to_irrevocable() {
-        // A transaction touching 9 lines in the same L1 set overflows the
-        // 8 ways every attempt; after max_retries it must complete
-        // irrevocably.
+    /// Build and run the 9-lines-one-L1-set workload (always a capacity
+    /// overflow) under `fallback`; returns the machine, the array base,
+    /// the stride in words, and the outcome.
+    fn run_capacity_overflow(
+        fallback: htm_sim::FallbackPolicy,
+    ) -> (Machine, u64, u64, RunOutcome, u32) {
         let mut m = Module::new();
         let mut b = FuncBuilder::new("tx_big", 2, FuncKind::Atomic { ab_id: 0 });
         let (base, stride_lines) = (b.param(0), b.param(1));
@@ -267,7 +268,7 @@ mod tests {
         m.add_function(b.finish());
 
         let c = compile(&m);
-        let machine = Machine::new(MachineConfig::cores(1).small());
+        let machine = Machine::new(MachineConfig::cores(1).small().fallback(fallback));
         let cfg = machine.config().clone();
         // Stride of l1_sets lines => same set index every time.
         let stride_words = (cfg.l1_sets as u64) * 8;
@@ -284,14 +285,77 @@ mod tests {
             }],
             7,
         );
+        let max_retries = rt_cfg.max_retries;
+        (machine, base, stride_words, out, max_retries)
+    }
+
+    #[test]
+    fn capacity_overflow_falls_back_to_irrevocable() {
+        // A transaction touching 9 lines in the same L1 set overflows the
+        // 8 ways every attempt; after max_retries it must complete
+        // irrevocably.
+        let (machine, base, stride_words, out, max_retries) =
+            run_capacity_overflow(htm_sim::FallbackPolicy::Irrevocable);
         assert_eq!(out.exec.irrevocable_txns, 1);
         assert_eq!(out.exec.committed_txns, 0);
         let agg = out.sim.aggregate();
-        assert_eq!(agg.capacity_aborts as u32, rt_cfg.max_retries);
+        assert_eq!(agg.capacity_aborts as u32, max_retries);
         assert_eq!(agg.irrevocable_commits, 1);
         // All 9 increments took effect exactly once.
         for i in 0..9u64 {
             assert_eq!(machine.host_load(base + i * stride_words * 8), 1);
+        }
+    }
+
+    #[test]
+    fn capacity_overflow_falls_back_to_hybrid_software_path() {
+        // Same workload under the hybrid policy: after max_retries the
+        // transaction must complete on the instrumented software path
+        // (accounted as a fallback commit), with identical data results.
+        let (machine, base, stride_words, out, max_retries) =
+            run_capacity_overflow(htm_sim::FallbackPolicy::HybridStm);
+        assert_eq!(out.exec.irrevocable_txns, 1, "one software-path commit");
+        assert_eq!(out.exec.committed_txns, 0);
+        let agg = out.sim.aggregate();
+        assert_eq!(agg.capacity_aborts as u32, max_retries);
+        assert_eq!(agg.irrevocable_commits, 1);
+        for i in 0..9u64 {
+            assert_eq!(machine.host_load(base + i * stride_words * 8), 1);
+        }
+    }
+
+    #[test]
+    fn new_fallback_policies_stay_serializable_under_contention() {
+        use htm_sim::FallbackPolicy;
+        for fb in [
+            FallbackPolicy::HybridStm,
+            FallbackPolicy::LazySubscriptionSafe,
+        ] {
+            let m = counter_module();
+            let c = compile(&m);
+            let machine = Machine::new(MachineConfig::cores(4).small().fallback(fb));
+            let counter = machine.host_alloc(8, true);
+            let tm = c.module.expect("thread_main");
+            let plans: Vec<ThreadPlan> = (0..4)
+                .map(|_| ThreadPlan {
+                    func: tm,
+                    args: vec![counter, 30],
+                })
+                .collect();
+            let rt_cfg = RuntimeConfig::with_mode(Mode::Htm);
+            let out = run_workload(&machine, &c, &rt_cfg, &plans, 42);
+            assert_eq!(
+                machine.host_load(counter),
+                120,
+                "{} must stay serializable",
+                fb.name()
+            );
+            assert_eq!(
+                out.exec.committed_txns + out.exec.irrevocable_txns,
+                120,
+                "{}",
+                fb.name()
+            );
         }
     }
 

@@ -10,8 +10,10 @@
 # smoke run of fig7 --quick whose output (including the machine-readable
 # results/BENCH_fig7.json) is recorded under results/, a profile
 # --quick smoke run whose text report and JSONL event dump are recorded
-# and sanity-checked, and a serve smoke gating the request-latency
-# capture's byte-identity across schedulers.
+# and sanity-checked, a serve smoke gating the request-latency capture's
+# byte-identity across schedulers, the lazy-subscription window
+# regression gate, per-fallback-protocol cross-scheduler identity gates,
+# and a protocols-exhibit smoke over the full variant matrix.
 #
 # Everything runs with --offline: the workspace has no external
 # dependencies by design, and CI must not depend on a registry.
@@ -148,6 +150,39 @@ if grep -qv '^{.*}$' results/ci_serve_coop.jsonl; then
 fi
 grep -q '^SLO: ' results/ci_serve_coop.txt
 rm -f results/ci_serve_coop.jsonl results/ci_serve_spec.jsonl
+
+echo "== lazy-subscription window regression gate"
+# The deliberately unsafe lazy-subscription policy must keep reproducing
+# the Dice-et-al. torn-commit window deterministically, and the safe
+# variant must keep closing it with a commit-time subscription abort.
+# Runs as part of the workspace suite above too; the explicit invocation
+# keeps the safety gate visible in CI logs.
+cargo test -q --offline -p stagger-core --test lazy_subscription
+
+echo "== fallback-protocol byte-identity gates (speculative vs cooperative)"
+# The fallback policy is a *simulated* knob: each protocol must stay
+# bit-identical across host schedulers through the CLI path too. Compare
+# the simulated projection of the scaling table at 16 cores per policy.
+for fb in hybrid-stm lazy-subscription-safe; do
+  ./target/release/scaling --quick --cores 16 --fallback "$fb" --jobs 2 \
+    | sim_cols > "results/ci_fb_${fb}_coop.txt"
+  ./target/release/scaling --quick --cores 16 --fallback "$fb" \
+      --scheduler speculative --host-threads 2 --jobs 2 \
+    | sim_cols > "results/ci_fb_${fb}_spec.txt"
+  cmp "results/ci_fb_${fb}_coop.txt" "results/ci_fb_${fb}_spec.txt"
+done
+
+echo "== protocols exhibit smoke (full variant matrix, quick)"
+# All 80 cells of the protocol matrix must run clean — workload
+# validation passes under every variant — and the new abort causes must
+# actually engage: bounded-set rows report capacity aborts,
+# lazy-subscription-safe rows report subscription aborts.
+./target/release/protocols --quick --jobs 2 | tee results/ci_protocols.txt
+test "$(grep -Ec '[0-9]\.[0-9]{2}x$' results/ci_protocols.txt)" -eq 80
+awk '$3 == "bounded-set" { c += $8 } END { exit !(c > 0) }' \
+  results/ci_protocols.txt
+awk '$3 == "lazy-subscription-safe" { s += $9 } END { exit !(s > 0) }' \
+  results/ci_protocols.txt
 
 echo "== sweep --quick --spec smoke (ablation-sweep cache smoke)"
 # Cold run: the two-cell smoke sweep computes both cells and populates the
